@@ -1,0 +1,27 @@
+"""E1 — Throughput on batch arrivals (Corollary 1.4 vs BEB's O(1/ln N)).
+
+Regenerates the E1 table: overall throughput of every protocol over a sweep
+of batch sizes N.  The reproduced shape: LOW-SENSING BACKOFF and full-sensing
+multiplicative weights stay flat in N, while binary exponential backoff's
+throughput decays roughly like 1/ln N.
+"""
+
+from repro.experiments.experiments import run_e1_throughput_batch
+
+from conftest import run_experiment_benchmark
+
+
+def test_e1_throughput_batch(benchmark):
+    report = run_experiment_benchmark(benchmark, run_e1_throughput_batch)
+    lsb = [r for r in report.rows if r["protocol"] == "low-sensing"]
+    beb = [r for r in report.rows if r["protocol"] == "binary-exponential"]
+    # Shape assertions: LSB does not collapse with N; BEB declines with N
+    # (theory predicts ~1/ln N, i.e. a modest but steady slide over one
+    # decade of N) and declines strictly faster than LSB.
+    assert min(r["throughput"] for r in lsb) > 0.15
+    lsb_ratio = lsb[-1]["throughput"] / lsb[0]["throughput"]
+    beb_ratio = beb[-1]["throughput"] / beb[0]["throughput"]
+    assert lsb_ratio >= 0.6
+    assert beb_ratio < 0.85
+    assert beb_ratio < lsb_ratio
+    assert min(r["throughput"] for r in lsb) > max(r["throughput"] for r in beb)

@@ -1,0 +1,18 @@
+"""E3 — Backlog under adversarial-queuing arrivals (Corollary 1.5).
+
+Regenerates the E3 table: maximum backlog relative to the granularity S for
+a sweep of S.  The reproduced shape: max backlog grows linearly in S (i.e.
+max_backlog / S is a roughly constant, small number).
+"""
+
+from repro.experiments.experiments import run_e3_backlog
+
+from conftest import run_experiment_benchmark
+
+
+def test_e3_backlog(benchmark):
+    report = run_experiment_benchmark(benchmark, run_e3_backlog)
+    ratios = report.column("max_backlog_over_s")
+    assert max(ratios) < 2.0
+    # The normalised backlog should not blow up as S grows.
+    assert ratios[-1] < 3.0 * ratios[0]

@@ -1,0 +1,26 @@
+"""E4 — Channel accesses per packet on finite streams (Theorem 1.6).
+
+Regenerates the E4 table: mean and maximum per-packet channel accesses for a
+sweep of N (with and without a jamming budget proportional to N), plus the
+scaling-model fits.  The reproduced shape: accesses grow far slower than
+linearly in N and are well described by a polylog fit.
+"""
+
+import math
+
+from repro.experiments.experiments import run_e4_energy_finite
+
+from conftest import run_experiment_benchmark
+
+
+def test_e4_energy_finite(benchmark):
+    report = run_experiment_benchmark(benchmark, run_e4_energy_finite)
+    unjammed = report.rows_where(jam_budget=0)
+    sizes = [row["n"] for row in unjammed]
+    accesses = [row["mean_accesses"] for row in unjammed]
+    # Polylog envelope and strongly sub-linear growth.
+    for n, value in zip(sizes, accesses):
+        assert value < 3.0 * math.log(n) ** 3
+    growth = accesses[-1] / accesses[0]
+    size_growth = sizes[-1] / sizes[0]
+    assert growth < 0.6 * size_growth

@@ -1,0 +1,21 @@
+"""E5 — Channel accesses per packet under adversarial queuing (Theorem 1.7).
+
+Regenerates the E5 table: per-packet channel accesses over a sweep of the
+granularity S at a fixed small arrival rate.  The reproduced shape: accesses
+stay within a polylog(S) envelope and grow far slower than S.
+"""
+
+import math
+
+from repro.experiments.experiments import run_e5_energy_queueing
+
+from conftest import run_experiment_benchmark
+
+
+def test_e5_energy_queueing(benchmark):
+    report = run_experiment_benchmark(benchmark, run_e5_energy_queueing)
+    for row in report.rows:
+        assert row["mean_accesses"] < 3.0 * math.log(row["granularity"]) ** 3
+    accesses = report.column("mean_accesses")
+    granularities = report.column("granularity")
+    assert accesses[-1] / accesses[0] < 0.6 * granularities[-1] / granularities[0]

@@ -1,0 +1,36 @@
+"""E6 — Energy against a reactive adversary (Theorem 1.9).
+
+Regenerates the E6 table: channel accesses of a packet persecuted by a
+reactive jammer versus the average over all packets, as the jamming budget J
+grows.  The reproduced shape: the victim's accesses grow (roughly linearly)
+with J while the average stays near its no-jamming polylog value.
+"""
+
+from repro.experiments.experiments import run_e6_reactive
+
+from conftest import run_experiment_benchmark
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def test_e6_reactive(benchmark):
+    report = run_experiment_benchmark(benchmark, run_e6_reactive)
+    budgets = sorted({row["jam_budget"] for row in report.rows})
+    victim = {
+        b: _mean(r["victim_accesses"] for r in report.rows_where(jam_budget=b))
+        for b in budgets
+    }
+    average = {
+        b: _mean(r["mean_accesses"] for r in report.rows_where(jam_budget=b))
+        for b in budgets
+    }
+    largest = budgets[-1]
+    # The victim pays at least one access per jammed send.
+    assert victim[largest] >= largest
+    # The average stays within a small factor of the unjammed average.
+    assert average[largest] < 4.0 * average[0]
+    # Worst case diverges from the average once jamming kicks in.
+    assert victim[largest] > 3.0 * average[largest]

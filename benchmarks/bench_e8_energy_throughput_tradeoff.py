@@ -1,0 +1,26 @@
+"""E8 — Energy vs throughput across protocols (the paper's motivating table).
+
+Regenerates the E8 table: (throughput, accesses/packet, listens, sends) for
+every protocol on batch workloads.  The reproduced shape: full-sensing MW
+matches LOW-SENSING BACKOFF on throughput but pays a multiple of its channel
+accesses; oblivious protocols access rarely but lose constant throughput.
+"""
+
+from repro.experiments.experiments import run_e8_energy_throughput_tradeoff
+
+from conftest import run_experiment_benchmark
+
+
+def test_e8_energy_throughput_tradeoff(benchmark):
+    report = run_experiment_benchmark(benchmark, run_e8_energy_throughput_tradeoff)
+    for n in sorted({row["n"] for row in report.rows}):
+        rows = {row["protocol"]: row for row in report.rows_where(n=n)}
+        lsb = rows["low-sensing"]
+        mw = rows["full-sensing-mw"]
+        beb = rows["binary-exponential"]
+        # Full-sensing pays strictly more channel accesses for similar throughput.
+        assert mw["mean_accesses"] > 1.5 * lsb["mean_accesses"]
+        assert mw["throughput"] < 3.0 * lsb["throughput"]
+        # Oblivious BEB is cheap but slow.
+        assert beb["mean_accesses"] < lsb["mean_accesses"]
+        assert lsb["throughput"] > 2.0 * beb["throughput"]

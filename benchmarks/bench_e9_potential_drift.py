@@ -1,0 +1,19 @@
+"""E9 — Potential-function drift (Theorem 5.18 / Corollary 5.22).
+
+Regenerates the E9 table: for batch and bursty workloads with potential
+instrumentation enabled, the fraction of analysis intervals over which Φ
+decreases and the maximum potential relative to N+J.  The reproduced shape:
+Φ trends downhill over intervals and its maximum stays within a constant
+multiple of the number of arrivals plus jammed slots.
+"""
+
+from repro.experiments.experiments import run_e9_potential_drift
+
+from conftest import run_experiment_benchmark
+
+
+def test_e9_potential_drift(benchmark):
+    report = run_experiment_benchmark(benchmark, run_e9_potential_drift)
+    assert all(row["fraction_negative_drift"] > 0.3 for row in report.rows)
+    assert all(row["max_potential_over_n_plus_j"] < 20.0 for row in report.rows)
+    assert all(row["drained"] for row in report.rows)

@@ -1,0 +1,52 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark regenerates one of the paper-claim experiments (see DESIGN.md
+section 3).  The experiment functions are deterministic given their seed
+list, so every benchmark runs its experiment exactly once
+(``benchmark.pedantic(rounds=1)``): the interesting output is the table of
+measurements, not the wall-clock time, although pytest-benchmark still
+records the latter.
+
+Every benchmark writes its rendered report to ``benchmarks/results/<id>.txt``
+so that EXPERIMENTS.md can be refreshed from an actual run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.reporting import render_report
+from repro.experiments.spec import ExperimentReport
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scale used by the benchmark suite.  "default" reproduces the shapes the
+#: paper claims at laptop scale; switch to "full" for a slower, larger sweep.
+BENCH_SCALE = "default"
+
+
+def save_report(report: ExperimentReport) -> str:
+    """Render ``report``, persist it under ``benchmarks/results/``, return it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    rendered = render_report(report)
+    path = RESULTS_DIR / f"{report.spec.exp_id.lower()}.txt"
+    path.write_text(rendered + "\n", encoding="utf-8")
+    return rendered
+
+
+def run_experiment_benchmark(benchmark, experiment, scale: str = BENCH_SCALE):
+    """Run ``experiment`` once under pytest-benchmark and persist its report."""
+    report = benchmark.pedantic(
+        lambda: experiment(scale=scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    rendered = save_report(report)
+    print()
+    print(rendered)
+    return report
+
+
+@pytest.fixture
+def bench_scale() -> str:
+    return BENCH_SCALE

@@ -1,0 +1,95 @@
+"""Scenario: surviving a jamming attack.
+
+Jamming — malicious or accidental noise that makes every listener hear a busy
+channel — is the second headline concern of the paper.  This example throws
+four attacks at LOW-SENSING BACKOFF while it is clearing a 300-packet batch:
+
+* a random jammer that corrupts 20% of slots until its budget runs out,
+* a burst jammer that blanket-jams a long contiguous window,
+* an adaptive jammer that reads the system state (the adaptive adversary may
+  inspect every packet's window) and only jams slots whose contention is in
+  the "good" regime — the slots most likely to carry a success,
+* a reactive jammer that watches the channel and destroys would-be
+  successful transmissions (Section 1.3).
+
+For each attack we report the paper's jamming-aware throughput (T+J)/S, the
+per-packet energy, and whether every packet was eventually delivered.
+
+Run with::
+
+    python examples/jamming_attack.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdaptiveContentionJammer,
+    BatchArrivals,
+    BernoulliJamming,
+    BurstJamming,
+    LowSensingBackoff,
+    NoJamming,
+    ReactiveSuccessJammer,
+    run_simulation,
+)
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    batch = 300
+    seed = 99
+    attacks = [
+        ("no jamming", NoJamming()),
+        ("random 20% (budget 300)", BernoulliJamming(probability=0.2, budget=300)),
+        ("burst of 400 slots", BurstJamming(start=50, length=400)),
+        (
+            "adaptive, good-contention slots",
+            AdaptiveContentionJammer(budget=300, target_regime="good"),
+        ),
+        ("reactive, kills successes", ReactiveSuccessJammer(budget=150)),
+    ]
+    headers = [
+        "attack",
+        "jammed slots",
+        "delivered",
+        "throughput (T+J)/S",
+        "active slots",
+        "mean accesses",
+        "max accesses",
+    ]
+    rows = []
+    for label, jammer in attacks:
+        result = run_simulation(
+            LowSensingBackoff(),
+            arrivals=BatchArrivals(batch),
+            jammer=jammer,
+            seed=seed,
+            max_slots=400_000,
+        )
+        energy = result.energy_statistics()
+        rows.append(
+            [
+                label,
+                result.num_jammed_active,
+                f"{result.num_delivered}/{batch}",
+                round(result.throughput, 3),
+                result.num_active_slots,
+                round(energy.mean_accesses, 1),
+                energy.max_accesses,
+            ]
+        )
+    print(f"LOW-SENSING BACKOFF clearing a {batch}-packet batch under attack")
+    print()
+    print(format_table(headers, rows))
+    print()
+    print(
+        "Every attack is absorbed: all packets are delivered, the jamming-aware "
+        "throughput (T+J)/S stays bounded away from zero, and per-packet channel "
+        "accesses stay polylogarithmic.  The reactive attack is the most "
+        "expensive per jammed slot — exactly the separation Theorem 1.9 "
+        "describes — but even there the averages stay small."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Quickstart: run LOW-SENSING BACKOFF on a batch and inspect the metrics.
+
+This is the smallest end-to-end use of the library:
+
+1. pick a protocol (the paper's LOW-SENSING BACKOFF),
+2. pick a workload (a batch of 200 packets arriving at slot 0),
+3. run the simulation,
+4. read off the paper's metrics: throughput, implicit throughput, and
+   per-packet channel accesses (the energy measure),
+5. compare against binary exponential backoff on the same workload.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BatchArrivals,
+    BinaryExponentialBackoff,
+    LowSensingBackoff,
+    run_simulation,
+)
+from repro.analysis.tables import format_table
+
+
+def describe_run(label: str, result) -> list[object]:
+    """One table row summarising an execution."""
+    energy = result.energy_statistics()
+    latency = result.latency_statistics()
+    return [
+        label,
+        result.num_arrivals,
+        result.num_active_slots,
+        round(result.throughput, 3),
+        round(energy.mean_accesses, 1),
+        energy.max_accesses,
+        round(energy.mean_sends, 1),
+        round(energy.mean_listens, 1),
+        latency.makespan,
+    ]
+
+
+def main() -> None:
+    batch_size = 200
+    seed = 2024
+
+    low_sensing = run_simulation(
+        LowSensingBackoff(), arrivals=BatchArrivals(batch_size), seed=seed
+    )
+    beb = run_simulation(
+        BinaryExponentialBackoff(), arrivals=BatchArrivals(batch_size), seed=seed
+    )
+
+    headers = [
+        "protocol",
+        "packets",
+        "active slots",
+        "throughput",
+        "mean accesses",
+        "max accesses",
+        "mean sends",
+        "mean listens",
+        "makespan",
+    ]
+    rows = [
+        describe_run("low-sensing (paper)", low_sensing),
+        describe_run("binary exponential", beb),
+    ]
+    print(f"Batch of {batch_size} packets, seed {seed}")
+    print()
+    print(format_table(headers, rows))
+    print()
+    print(
+        "LOW-SENSING BACKOFF delivers the batch in a constant number of slots "
+        "per packet (constant throughput) while each packet touches the channel "
+        "only a polylogarithmic number of times; binary exponential backoff "
+        "sends less but needs far more slots, i.e. its throughput is lower and "
+        "keeps falling as the batch grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

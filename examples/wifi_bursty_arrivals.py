@@ -1,0 +1,94 @@
+"""Scenario: bursty Wi-Fi-style contention with periodic device wake-ups.
+
+The paper motivates contention resolution with shared-channel settings such
+as Wi-Fi and wireless sensor networks, where many stations wake up at nearly
+the same moment (a meeting starts, a sensor epoch begins) and must all get a
+frame through.  This example models that workload as periodic bursts of
+packets and compares LOW-SENSING BACKOFF against the full-sensing
+multiplicative-weights protocol (the representative "listen every slot"
+design) and binary exponential backoff (the classical Ethernet/Wi-Fi
+strategy), asking three questions:
+
+* does the protocol keep up with the bursts (bounded backlog)?
+* what throughput does it sustain over the whole run?
+* how much energy (channel accesses) does each delivered packet cost?
+
+Run with::
+
+    python examples/wifi_bursty_arrivals.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BinaryExponentialBackoff,
+    FullSensingMultiplicativeWeights,
+    LowSensingBackoff,
+    PeriodicBurstArrivals,
+    run_simulation,
+)
+from repro.analysis.tables import format_table
+
+
+def run_scenario(protocol, seed: int = 7):
+    """60 bursts of 25 stations, one burst every 400 slots."""
+    arrivals = PeriodicBurstArrivals(
+        burst_size=25, period=400, start=0, num_bursts=60
+    )
+    return run_simulation(
+        protocol,
+        arrivals=arrivals,
+        seed=seed,
+        max_slots=200_000,
+    )
+
+
+def main() -> None:
+    protocols = [
+        ("low-sensing (paper)", LowSensingBackoff()),
+        ("full-sensing MW", FullSensingMultiplicativeWeights()),
+        ("binary exponential", BinaryExponentialBackoff()),
+    ]
+    headers = [
+        "protocol",
+        "delivered",
+        "throughput",
+        "max backlog",
+        "mean accesses",
+        "p95 accesses",
+        "mean latency",
+        "p95 latency",
+    ]
+    rows = []
+    for label, protocol in protocols:
+        result = run_scenario(protocol)
+        energy = result.energy_statistics(departed_only=True)
+        latency = result.latency_statistics()
+        rows.append(
+            [
+                label,
+                f"{result.num_delivered}/{result.num_arrivals}",
+                round(result.throughput, 3),
+                max(result.backlog_series()),
+                round(energy.mean_accesses, 1),
+                energy.p95_accesses,
+                round(latency.mean_latency, 1),
+                latency.p95_latency,
+            ]
+        )
+    print("Bursty arrivals: 60 bursts x 25 stations, one burst every 400 slots")
+    print()
+    print(format_table(headers, rows))
+    print()
+    print(
+        "All three protocols keep up with this arrival rate, but they pay very "
+        "differently: the full-sensing protocol listens in every slot a station "
+        "is awake, binary exponential backoff needs far more slots per burst "
+        "(higher latency and backlog), and LOW-SENSING BACKOFF clears each "
+        "burst quickly while keeping per-station channel accesses small — the "
+        "paper's 'fully energy-efficient' operating point."
+    )
+
+
+if __name__ == "__main__":
+    main()

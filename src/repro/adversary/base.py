@@ -1,0 +1,99 @@
+"""Adversary interfaces and the system-state snapshot they observe.
+
+The adaptive adversary of the paper bases its decisions for slot ``t`` on the
+entire state of the system up to the end of slot ``t − 1`` — including the
+internal state (window sizes) of every packet — but not on the coin flips of
+slot ``t`` itself.  :class:`SystemView` is exactly that snapshot.  A reactive
+adversary additionally gets to see the set of senders of the current slot
+through :meth:`Adversary.reactive_jam` before the outcome is committed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from random import Random
+from typing import Hashable, Mapping, Sequence
+
+from repro.channel.feedback import SlotOutcome
+
+PacketId = Hashable
+
+
+@dataclass(frozen=True)
+class SystemView:
+    """Read-only snapshot of the system visible to an adaptive adversary.
+
+    Attributes
+    ----------
+    slot:
+        Index of the slot about to be played.
+    active_packets:
+        Ids of packets currently in the system, in arrival order.
+    sending_probabilities:
+        Per-packet marginal sending probabilities for the upcoming slot
+        (``None`` for protocols that do not expose one).  This is the
+        adversary's window into packet internal state.
+    contention:
+        Sum of the known sending probabilities (the paper's ``C(t)``,
+        computed over packets that expose a probability).
+    arrivals_so_far, departures_so_far, jammed_so_far:
+        Cumulative counts up to and including the previous slot.
+    active_slots_so_far:
+        Number of slots so far with at least one active packet.
+    last_outcome:
+        Outcome of the previous slot (``None`` before the first slot).
+    """
+
+    slot: int
+    active_packets: tuple[PacketId, ...]
+    sending_probabilities: Mapping[PacketId, float | None] = field(default_factory=dict)
+    contention: float = 0.0
+    arrivals_so_far: int = 0
+    departures_so_far: int = 0
+    jammed_so_far: int = 0
+    active_slots_so_far: int = 0
+    last_outcome: SlotOutcome | None = None
+
+    @property
+    def backlog(self) -> int:
+        """Number of packets currently in the system."""
+        return len(self.active_packets)
+
+
+class Adversary(abc.ABC):
+    """Full adversary: decides injections and jamming for every slot."""
+
+    #: Whether the adversary uses the reactive hook.  The engine only calls
+    #: :meth:`reactive_jam` when this is True, which keeps the common case
+    #: cheap and makes the adaptive/reactive distinction explicit in results.
+    reactive: bool = False
+
+    #: Whether the adversary reads ``SystemView.contention``.  The engine
+    #: skips the O(active packets) contention computation when no consumer
+    #: needs it.
+    needs_contention: bool = False
+
+    #: Whether the adversary reads ``SystemView.sending_probabilities``.
+    needs_probabilities: bool = False
+
+    @abc.abstractmethod
+    def arrivals(self, view: SystemView, rng: Random) -> int:
+        """Number of packets to inject at the start of ``view.slot``."""
+
+    @abc.abstractmethod
+    def jam(self, view: SystemView, rng: Random) -> bool:
+        """Whether to jam ``view.slot`` (decided before the packets' coins)."""
+
+    def reactive_jam(
+        self, view: SystemView, senders: Sequence[PacketId], rng: Random
+    ) -> bool:
+        """Reactive jamming decision, made after seeing the slot's senders.
+
+        Only consulted when :attr:`reactive` is True and :meth:`jam` returned
+        False for the slot.  The default implementation never jams.
+        """
+        return False
+
+    def describe(self) -> dict[str, object]:
+        return {"type": type(self).__name__, "reactive": self.reactive}

@@ -1,0 +1,46 @@
+"""Statistics and model fitting on top of the raw metrics.
+
+The paper's claims are asymptotic ("Θ(1) throughput", "polylog(N+J) channel
+accesses"); finite-size simulations can only exhibit shapes.  This subpackage
+provides the tools the experiments use to turn measurements into
+shape-verdicts:
+
+* :mod:`repro.analysis.statistics` — means, confidence intervals, quantiles
+  and bootstrap resampling over replicated runs;
+* :mod:`repro.analysis.fitting` — least-squares fits of constant, log-power,
+  power-law, and linear scaling models with model selection, used to decide
+  whether a measured curve grows polylogarithmically or polynomially;
+* :mod:`repro.analysis.tables` — plain-text table rendering for experiment
+  reports (no plotting dependencies).
+"""
+
+from repro.analysis.fitting import (
+    FitResult,
+    fit_constant,
+    fit_linear,
+    fit_log_power,
+    fit_power_law,
+    select_scaling_model,
+)
+from repro.analysis.statistics import (
+    ConfidenceInterval,
+    bootstrap_mean_interval,
+    describe,
+    mean_confidence_interval,
+)
+from repro.analysis.tables import format_table, render_rows
+
+__all__ = [
+    "ConfidenceInterval",
+    "FitResult",
+    "bootstrap_mean_interval",
+    "describe",
+    "fit_constant",
+    "fit_linear",
+    "fit_log_power",
+    "fit_power_law",
+    "format_table",
+    "mean_confidence_interval",
+    "render_rows",
+    "select_scaling_model",
+]

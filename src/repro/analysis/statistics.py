@@ -1,0 +1,114 @@
+"""Descriptive statistics and confidence intervals over replicated runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a symmetric-coverage interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.estimate <= self.high:
+            raise ValueError("interval must bracket the estimate")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def describe(values: Sequence[float]) -> dict[str, float]:
+    """Mean, standard deviation, min, max, and median of a sample."""
+    if not values:
+        raise ValueError("cannot describe an empty sample")
+    ordered = sorted(values)
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    median = (
+        ordered[n // 2]
+        if n % 2 == 1
+        else (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+    )
+    return {
+        "n": float(n),
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": float(ordered[0]),
+        "max": float(ordered[-1]),
+        "median": float(median),
+    }
+
+
+# Two-sided critical values of the standard normal for common confidences;
+# the replicate counts used by experiments (5–20 seeds) make the normal
+# approximation adequate and avoid a scipy dependency in the core path.
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Normal-approximation confidence interval for the mean of a sample."""
+    if len(values) < 2:
+        raise ValueError("need at least two values for a confidence interval")
+    if confidence not in _Z_VALUES:
+        raise ValueError(f"supported confidences: {sorted(_Z_VALUES)}")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half_width = _Z_VALUES[confidence] * math.sqrt(variance / n)
+    return ConfidenceInterval(
+        estimate=mean, low=mean - half_width, high=mean + half_width,
+        confidence=confidence,
+    )
+
+
+def bootstrap_mean_interval(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Used when the per-run metric is skewed (maximum channel accesses, maximum
+    backlog) and the normal approximation of
+    :func:`mean_confidence_interval` is unreliable.
+    """
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if resamples < 10:
+        raise ValueError("need at least 10 resamples")
+    rng = Random(seed)
+    n = len(values)
+    point = sum(values) / n
+    means = []
+    for _ in range(resamples):
+        resample = [values[rng.randrange(n)] for _ in range(n)]
+        means.append(sum(resample) / n)
+    means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    low_index = max(0, min(resamples - 1, int(alpha * resamples)))
+    high_index = max(0, min(resamples - 1, int((1.0 - alpha) * resamples) - 1))
+    low = min(means[low_index], point)
+    high = max(means[high_index], point)
+    return ConfidenceInterval(
+        estimate=point, low=low, high=high, confidence=confidence
+    )

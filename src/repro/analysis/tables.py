@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmarks and examples print the rows the paper's claims are judged on;
+keeping the renderer dependency-free (no pandas, no rich) means it works in
+any environment the simulations do.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row length {len(row)} does not match header length {len(headers)}"
+            )
+    text_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of dict-rows, optionally restricted to ``columns``."""
+    if not rows:
+        raise ValueError("no rows to render")
+    if columns is None:
+        columns = list(rows[0].keys())
+    table_rows = [[row.get(column, "") for column in columns] for row in rows]
+    return format_table(list(columns), table_rows, precision=precision)

@@ -1,0 +1,69 @@
+"""Per-slot packet actions.
+
+In every slot a packet takes one of three actions (Section 1.1): sleep,
+listen, or send.  Per Footnote 2 and Section 3 of the paper, a sending
+packet does not need to listen separately to learn the channel state — if it
+is still in the system after sending, the slot was noisy — so sending counts
+as a single channel access.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ActionKind(enum.Enum):
+    """The three per-slot actions of the ternary feedback model."""
+
+    SLEEP = "sleep"
+    LISTEN = "listen"
+    SEND = "send"
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """A packet's decision for a single slot.
+
+    Use the class-level constructors :meth:`sleep`, :meth:`listen`, and
+    :meth:`send` rather than instantiating directly.
+    """
+
+    kind: ActionKind
+
+    @classmethod
+    def sleep(cls) -> "Action":
+        """The packet neither sends nor listens; it learns nothing."""
+        return _SLEEP
+
+    @classmethod
+    def listen(cls) -> "Action":
+        """The packet listens and learns the slot's ternary feedback."""
+        return _LISTEN
+
+    @classmethod
+    def send(cls) -> "Action":
+        """The packet transmits (and implicitly learns the slot state)."""
+        return _SEND
+
+    @property
+    def accesses_channel(self) -> bool:
+        """True when the action consumes a channel access (listen or send)."""
+        return self.kind is not ActionKind.SLEEP
+
+    @property
+    def is_send(self) -> bool:
+        return self.kind is ActionKind.SEND
+
+    @property
+    def is_listen(self) -> bool:
+        return self.kind is ActionKind.LISTEN
+
+    @property
+    def is_sleep(self) -> bool:
+        return self.kind is ActionKind.SLEEP
+
+
+_SLEEP = Action(ActionKind.SLEEP)
+_LISTEN = Action(ActionKind.LISTEN)
+_SEND = Action(ActionKind.SEND)

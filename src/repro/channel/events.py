@@ -1,0 +1,56 @@
+"""Structured event records produced by the simulation engine.
+
+Events are lightweight, immutable records; the trace module groups them per
+slot.  They are primarily consumed by metrics collectors and tests, and they
+double as a human-readable audit log for debugging adversary strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.channel.feedback import SlotOutcome
+
+PacketId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base class for all events; ``slot`` is the slot index (0-based)."""
+
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalEvent(Event):
+    """A packet was injected into the system at the start of ``slot``."""
+
+    packet_id: PacketId
+
+
+@dataclass(frozen=True, slots=True)
+class DepartureEvent(Event):
+    """A packet succeeded during ``slot`` and departed the system."""
+
+    packet_id: PacketId
+    latency: int
+    channel_accesses: int
+
+
+@dataclass(frozen=True, slots=True)
+class JamEvent(Event):
+    """The adversary jammed ``slot``; ``reactive`` marks reactive jamming."""
+
+    reactive: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class SlotEvent(Event):
+    """Summary of a resolved slot."""
+
+    outcome: SlotOutcome
+    num_senders: int
+    num_listeners: int
+    num_active: int
+    jammed: bool

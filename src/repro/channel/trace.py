@@ -1,0 +1,121 @@
+"""Execution traces.
+
+A trace records, per slot, everything needed to recompute every metric in the
+paper: the outcome, the number of active packets, arrivals, jamming, and the
+identities of senders/listeners.  Traces are optional (the engine can run
+with metrics only) because storing per-slot records costs memory on long
+executions, but they are invaluable in tests and for the potential-function
+experiments (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Sequence
+
+from repro.channel.feedback import SlotOutcome
+
+PacketId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class SlotRecord:
+    """Everything that happened in one slot."""
+
+    slot: int
+    outcome: SlotOutcome
+    jammed: bool
+    arrivals: tuple[PacketId, ...]
+    senders: tuple[PacketId, ...]
+    listeners: tuple[PacketId, ...]
+    winner: PacketId | None
+    active_before: int
+    active_after: int
+    contention: float | None = None
+    potential: float | None = None
+
+    @property
+    def is_active(self) -> bool:
+        """True when at least one packet was in the system during the slot."""
+        return self.active_before > 0
+
+    @property
+    def is_success(self) -> bool:
+        return self.outcome is SlotOutcome.SUCCESS
+
+
+@dataclass
+class ExecutionTrace:
+    """An append-only sequence of :class:`SlotRecord`.
+
+    The trace exposes convenience accessors used throughout the test-suite
+    and the analysis code (counts of successes, jammed slots, active slots,
+    and slices over slot ranges).
+    """
+
+    records: list[SlotRecord] = field(default_factory=list)
+
+    def append(self, record: SlotRecord) -> None:
+        if self.records and record.slot != self.records[-1].slot + 1:
+            raise ValueError(
+                "trace records must be appended in consecutive slot order: "
+                f"got slot {record.slot} after {self.records[-1].slot}"
+            )
+        if not self.records and record.slot != 0:
+            raise ValueError("the first trace record must be slot 0")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SlotRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> SlotRecord:
+        return self.records[index]
+
+    # -- Aggregates -------------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_active_slots(self) -> int:
+        return sum(1 for r in self.records if r.is_active)
+
+    @property
+    def num_successes(self) -> int:
+        return sum(1 for r in self.records if r.is_success)
+
+    @property
+    def num_jammed(self) -> int:
+        return sum(1 for r in self.records if r.jammed)
+
+    @property
+    def num_arrivals(self) -> int:
+        return sum(len(r.arrivals) for r in self.records)
+
+    @property
+    def num_collisions(self) -> int:
+        return sum(1 for r in self.records if r.outcome is SlotOutcome.COLLISION)
+
+    @property
+    def num_empty(self) -> int:
+        return sum(1 for r in self.records if r.outcome is SlotOutcome.EMPTY)
+
+    def window(self, start: int, stop: int) -> Sequence[SlotRecord]:
+        """Records for slots in ``[start, stop)``."""
+        if start < 0 or stop < start:
+            raise ValueError("invalid window bounds")
+        return self.records[start:stop]
+
+    def active_slot_indices(self) -> list[int]:
+        """Indices of slots with at least one active packet."""
+        return [r.slot for r in self.records if r.is_active]
+
+    def outcome_counts(self) -> dict[SlotOutcome, int]:
+        counts = {outcome: 0 for outcome in SlotOutcome}
+        for record in self.records:
+            counts[record.outcome] += 1
+        return counts

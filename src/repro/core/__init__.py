@@ -1,0 +1,42 @@
+"""The paper's primary contribution: LOW-SENSING BACKOFF.
+
+This subpackage contains:
+
+* :class:`~repro.core.parameters.LowSensingParameters` — the algorithm's
+  constants (``c`` and ``w_min``) with the validity constraints from
+  Section 3 of the paper;
+* :class:`~repro.core.low_sensing.LowSensingBackoff` — the algorithm of
+  Figure 1 under the common protocol API;
+* :mod:`repro.core.contention` — contention ``C(t)`` and the slot-outcome
+  probability bounds of Lemmas 5.1–5.3;
+* :mod:`repro.core.potential` — the potential function
+  ``Φ(t) = α1·N(t) + α2·H(t) + α3·L(t)`` of Section 4.2 and the interval
+  sizing of Section 4.3, used for the drift experiments (E9).
+"""
+
+from repro.core.contention import (
+    ContentionRegime,
+    classify_contention,
+    contention,
+    empty_probability_bounds,
+    noisy_probability_lower_bound,
+    success_probability_bounds,
+)
+from repro.core.low_sensing import LowSensingBackoff, LowSensingPacketState
+from repro.core.parameters import LowSensingParameters
+from repro.core.potential import PotentialCoefficients, PotentialTracker, interval_length
+
+__all__ = [
+    "ContentionRegime",
+    "LowSensingBackoff",
+    "LowSensingPacketState",
+    "LowSensingParameters",
+    "PotentialCoefficients",
+    "PotentialTracker",
+    "classify_contention",
+    "contention",
+    "empty_probability_bounds",
+    "interval_length",
+    "noisy_probability_lower_bound",
+    "success_probability_bounds",
+]

@@ -1,0 +1,107 @@
+"""Contention and slot-outcome probability bounds (Section 4.1, Lemmas 5.1–5.3).
+
+The contention at slot ``t`` is ``C(t) = Σ_u 1/w_u(t)``, the sum of the
+packets' sending probabilities (equivalently, the expected number of senders
+in the slot).  The paper partitions contention into three regimes — low,
+good, and high — and its core lemmas bound the probabilities that an
+unjammed slot is successful, empty, or noisy purely as functions of ``C(t)``:
+
+* Lemma 5.1:  ``C·e^{-2C} ≤ p_suc ≤ 2C·e^{-C}``
+* Lemma 5.2:  ``e^{-2C} ≤ p_emp ≤ e^{-C}``
+* Lemma 5.3:  ``p_noi ≥ 1 − 2C·e^{-C} − e^{-C}``
+
+These functions are used by the potential-function instrumentation, by the
+adaptive adversary strategies (which may target a contention regime), and by
+property-based tests that check the empirical slot-outcome frequencies of
+the simulator against the bounds.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Iterable
+
+
+class ContentionRegime(enum.Enum):
+    """The three contention regimes of Section 4.1."""
+
+    LOW = "low"
+    GOOD = "good"
+    HIGH = "high"
+
+
+#: Default regime thresholds.  The paper requires ``C_low ≤ 1/w_min`` and
+#: ``C_high > 1`` constant; with the experiment default ``w_min = 64`` these
+#: choices satisfy both constraints.
+DEFAULT_C_LOW = 1.0 / 64.0
+DEFAULT_C_HIGH = 4.0
+
+
+def contention(sending_probabilities: Iterable[float]) -> float:
+    """Contention ``C(t)``: the sum of per-packet sending probabilities."""
+    total = 0.0
+    for probability in sending_probabilities:
+        if probability < 0.0 or probability > 1.0:
+            raise ValueError(f"sending probability out of range: {probability}")
+        total += probability
+    return total
+
+
+def classify_contention(
+    value: float,
+    c_low: float = DEFAULT_C_LOW,
+    c_high: float = DEFAULT_C_HIGH,
+) -> ContentionRegime:
+    """Classify contention into low / good / high.
+
+    ``value < c_low`` is low, ``value > c_high`` is high, and anything in the
+    closed interval ``[c_low, c_high]`` is good.
+    """
+    if value < 0.0:
+        raise ValueError("contention cannot be negative")
+    if c_low >= c_high:
+        raise ValueError("require c_low < c_high")
+    if value < c_low:
+        return ContentionRegime.LOW
+    if value > c_high:
+        return ContentionRegime.HIGH
+    return ContentionRegime.GOOD
+
+
+def success_probability_bounds(contention_value: float) -> tuple[float, float]:
+    """Lemma 5.1 bounds on the probability an unjammed slot is successful.
+
+    Returns ``(lower, upper)`` with
+    ``lower = C·e^{-2C}`` and ``upper = 2C·e^{-C}`` (the upper bound is
+    clipped to 1).  Valid whenever every packet's window is at least 2, which
+    LOW-SENSING BACKOFF guarantees (``w_min > 2``).
+    """
+    if contention_value < 0.0:
+        raise ValueError("contention cannot be negative")
+    c = contention_value
+    lower = c * math.exp(-2.0 * c)
+    upper = min(1.0, 2.0 * c * math.exp(-c))
+    return lower, upper
+
+
+def empty_probability_bounds(contention_value: float) -> tuple[float, float]:
+    """Lemma 5.2 bounds on the probability an unjammed slot is empty.
+
+    Returns ``(lower, upper) = (e^{-2C}, e^{-C})``.
+    """
+    if contention_value < 0.0:
+        raise ValueError("contention cannot be negative")
+    c = contention_value
+    return math.exp(-2.0 * c), math.exp(-c)
+
+
+def noisy_probability_lower_bound(contention_value: float) -> float:
+    """Lemma 5.3 lower bound on the probability an unjammed slot is noisy.
+
+    ``p_noi ≥ 1 − 2C·e^{-C} − e^{-C}``, clipped below at 0.
+    """
+    if contention_value < 0.0:
+        raise ValueError("contention cannot be negative")
+    c = contention_value
+    return max(0.0, 1.0 - 2.0 * c * math.exp(-c) - math.exp(-c))

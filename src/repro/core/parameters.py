@@ -1,0 +1,119 @@
+"""Parameters of LOW-SENSING BACKOFF.
+
+Section 3 of the paper specifies two constants:
+
+* ``c`` — a "sufficiently large" positive constant scaling the listening
+  probability ``c·ln³(w)/w`` and the update factor ``1 + 1/(c·ln w)``;
+* ``w_min`` — the minimum (and initial) window size, a "sufficiently large"
+  constant satisfying ``w_min > 2`` and ``w_min / ln³(w_min) ≥ c`` so that
+  the listening probability never exceeds 1.
+
+Because the paper's constants are asymptotic, the library allows *practical*
+parameterisations that violate ``w_min / ln³(w_min) ≥ c`` provided the caller
+opts in (``strict=False``); in that case the listening probability is clamped
+to 1, which only makes the algorithm listen more (never less) and therefore
+preserves the throughput behaviour while inflating energy.  Experiments use
+strict parameters by default.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class LowSensingParameters:
+    """Constants of LOW-SENSING BACKOFF (Figure 1).
+
+    Parameters
+    ----------
+    c:
+        The constant ``c`` from Figure 1.  Larger ``c`` means more listening
+        per send, gentler window updates, and stronger concentration (the
+        proofs take ``c`` large); smaller ``c`` converges faster at small
+        scale.
+    w_min:
+        Minimum and initial window size.
+    strict:
+        When True (default), enforce the paper's constraints
+        ``w_min > 2`` and ``w_min / ln³(w_min) ≥ c``.  When False only basic
+        sanity checks are applied and the access probability is clamped at 1.
+    """
+
+    c: float = 0.5
+    w_min: float = 32.0
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.c <= 0.0:
+            raise ValueError("c must be positive")
+        if self.w_min <= 2.0:
+            raise ValueError("w_min must exceed 2")
+        if self.strict and not self.satisfies_paper_constraints():
+            raise ValueError(
+                "strict parameters require w_min / ln^3(w_min) >= c so the "
+                f"listening probability is at most 1; got c={self.c}, "
+                f"w_min={self.w_min} "
+                f"(w_min/ln^3(w_min)={self.w_min / math.log(self.w_min) ** 3:.3f}). "
+                "Pass strict=False to clamp instead."
+            )
+
+    # -- Constraint checks -------------------------------------------------
+
+    def satisfies_paper_constraints(self) -> bool:
+        """True when ``w_min > 2`` and ``w_min / ln³(w_min) ≥ c`` hold."""
+        return self.w_min > 2.0 and self.w_min / math.log(self.w_min) ** 3 >= self.c
+
+    # -- Derived per-window quantities (Figure 1) ---------------------------
+
+    def access_probability(self, window: float) -> float:
+        """Probability ``c·ln³(w)/w`` that a packet accesses the channel.
+
+        Clamped to 1 for non-strict parameterisations where the formula can
+        exceed 1 at small windows.
+        """
+        self._check_window(window)
+        return min(1.0, self.c * math.log(window) ** 3 / window)
+
+    def send_probability_given_access(self, window: float) -> float:
+        """Probability ``1/(c·ln³ w)`` of sending, conditioned on accessing."""
+        self._check_window(window)
+        return min(1.0, 1.0 / (self.c * math.log(window) ** 3))
+
+    def send_probability(self, window: float) -> float:
+        """Unconditional per-slot sending probability.
+
+        For strict parameters this is exactly ``1/w`` (the product of the two
+        probabilities above); with clamping it can differ slightly, which is
+        why it is computed as the product rather than assumed.
+        """
+        return self.access_probability(window) * self.send_probability_given_access(
+            window
+        )
+
+    def update_factor(self, window: float) -> float:
+        """The multiplicative window-update factor ``1 + 1/(c·ln w)``."""
+        self._check_window(window)
+        return 1.0 + 1.0 / (self.c * math.log(window))
+
+    def backoff(self, window: float) -> float:
+        """Window after hearing a noisy slot: ``w · (1 + 1/(c·ln w))``."""
+        return window * self.update_factor(window)
+
+    def backon(self, window: float) -> float:
+        """Window after hearing silence: ``max(w / (1 + 1/(c·ln w)), w_min)``."""
+        return max(window / self.update_factor(window), self.w_min)
+
+    # -- Helpers ------------------------------------------------------------
+
+    def _check_window(self, window: float) -> None:
+        if window < self.w_min - 1e-9:
+            raise ValueError(
+                f"window {window} is below w_min={self.w_min}; protocol state "
+                "must never drop below the minimum window"
+            )
+
+    def describe(self) -> dict[str, Any]:
+        return {"c": self.c, "w_min": self.w_min, "strict": self.strict}

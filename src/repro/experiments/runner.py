@@ -1,0 +1,98 @@
+"""Sweep execution with replication.
+
+The :class:`SweepRunner` removes the boilerplate every experiment shares:
+run one configuration over several seeds (constructing a fresh adversary per
+seed, because adversaries are stateful), collect the per-run summaries, and
+aggregate them into a single row of means.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.adversary.base import Adversary
+from repro.metrics.summary import aggregate_summaries
+from repro.protocols.base import BackoffProtocol
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.sim.results import SimulationResult
+
+AdversaryFactory = Callable[[], Adversary]
+
+
+class SweepRunner:
+    """Runs replicated simulations for experiment sweeps."""
+
+    def __init__(self, seeds: Sequence[int], max_slots: int = 200_000) -> None:
+        if not seeds:
+            raise ValueError("at least one seed is required")
+        self.seeds = list(seeds)
+        self.max_slots = max_slots
+
+    def run_replicates(
+        self,
+        protocol: BackoffProtocol,
+        adversary_factory: AdversaryFactory,
+        *,
+        stop_when_drained: bool = True,
+        collect_potential: bool = False,
+        max_slots: int | None = None,
+    ) -> list[SimulationResult]:
+        """One simulation per seed with a freshly built adversary each time."""
+        results = []
+        for seed in self.seeds:
+            config = SimulationConfig(
+                protocol=protocol,
+                adversary=adversary_factory(),
+                seed=seed,
+                max_slots=max_slots or self.max_slots,
+                stop_when_drained=stop_when_drained,
+                collect_potential=collect_potential,
+            )
+            results.append(Simulator(config).run())
+        return results
+
+    def aggregate_row(
+        self,
+        protocol: BackoffProtocol,
+        adversary_factory: AdversaryFactory,
+        *,
+        extra_columns: dict[str, Any] | None = None,
+        stop_when_drained: bool = True,
+        max_slots: int | None = None,
+    ) -> dict[str, Any]:
+        """Run replicates and flatten the aggregated metrics into one row.
+
+        The row contains the protocol name, any caller-provided sweep columns
+        (``extra_columns``), and the replicate means of the headline metrics.
+        """
+        results = self.run_replicates(
+            protocol,
+            adversary_factory,
+            stop_when_drained=stop_when_drained,
+            max_slots=max_slots,
+        )
+        summaries = [result.summary() for result in results]
+        aggregated = aggregate_summaries(summaries)
+        row: dict[str, Any] = {"protocol": protocol.name}
+        if extra_columns:
+            row.update(extra_columns)
+        row.update(
+            {
+                "replicates": len(results),
+                "throughput": aggregated["throughput"].mean,
+                "implicit_throughput": aggregated["implicit_throughput"].mean,
+                "mean_accesses": aggregated["mean_accesses"].mean,
+                "max_accesses": aggregated["max_accesses"].mean,
+                "mean_sends": aggregated["mean_sends"].mean,
+                "mean_listens": aggregated["mean_listens"].mean,
+                "max_backlog": aggregated["max_backlog"].mean,
+                "makespan": aggregated["makespan"].mean,
+                "active_slots": aggregated["num_active_slots"].mean,
+                "jammed_active": aggregated["num_jammed_active"].mean,
+                "arrivals": aggregated["num_arrivals"].mean,
+                "delivered": aggregated["num_delivered"].mean,
+                "drained": all(summary.drained for summary in summaries),
+            }
+        )
+        return row

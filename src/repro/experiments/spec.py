@@ -1,0 +1,67 @@
+"""Experiment specifications and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Identity and provenance of one paper-claim experiment."""
+
+    exp_id: str
+    title: str
+    claim: str
+    bench_target: str
+
+    def __post_init__(self) -> None:
+        if not self.exp_id:
+            raise ValueError("exp_id must be non-empty")
+
+
+@dataclass
+class ExperimentReport:
+    """The output of running one experiment.
+
+    ``rows`` are dictionaries (one per swept configuration) whose keys are
+    column names; ``verdicts`` are free-form conclusions computed from the
+    rows (for example the selected scaling model for an energy curve);
+    ``notes`` record caveats such as reduced scale.
+    """
+
+    spec: ExperimentSpec
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    verdicts: dict[str, str] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, row: Mapping[str, Any]) -> None:
+        self.rows.append(dict(row))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        missing = [i for i, row in enumerate(self.rows) if name not in row]
+        if missing:
+            raise KeyError(f"column {name!r} missing from rows {missing}")
+        return [row[name] for row in self.rows]
+
+    def rows_where(self, **criteria: Any) -> list[dict[str, Any]]:
+        """Rows whose columns match all the given key/value criteria."""
+        selected = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                selected.append(row)
+        return selected
+
+
+#: Scale presets: the number of packets / slots each experiment uses.  The
+#: "smoke" preset exists for integration tests, "default" is what the
+#: benchmark suite runs, and "full" is a larger sweep for slower, more
+#: precise reproductions.
+SCALES = ("smoke", "default", "full")
+
+
+def check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    return scale

@@ -1,0 +1,98 @@
+"""Per-slot metrics collection.
+
+The :class:`MetricsCollector` is the engine's single sink for per-slot
+observations.  It maintains the cumulative counters that the paper's metrics
+are defined over (arrivals, successes, jammed slots, active slots) plus the
+light-weight series (backlog, cumulative counters per slot) that the
+throughput and backlog analyses need.  It deliberately stores only integers
+per slot so that even 10^5-slot executions stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.feedback import SlotOutcome
+
+
+@dataclass(frozen=True, slots=True)
+class SlotObservation:
+    """What the engine reports to the collector after each slot."""
+
+    slot: int
+    outcome: SlotOutcome
+    jammed: bool
+    arrivals: int
+    active_before: int
+    active_after: int
+    num_senders: int
+    num_listeners: int
+
+
+class MetricsCollector:
+    """Accumulates counters and per-slot series for one execution."""
+
+    def __init__(self, collect_series: bool = True) -> None:
+        self.collect_series = collect_series
+        # Cumulative counters.
+        self.num_slots = 0
+        self.num_active_slots = 0
+        self.num_arrivals = 0
+        self.num_successes = 0
+        self.num_collisions = 0
+        self.num_empty_active = 0
+        self.num_jammed = 0
+        self.num_jammed_active = 0
+        self.total_sends = 0
+        self.total_listens = 0
+        # Per-slot series (indices are slot numbers).
+        self.backlog_series: list[int] = []
+        self.cumulative_arrivals: list[int] = []
+        self.cumulative_successes: list[int] = []
+        self.cumulative_jammed_active: list[int] = []
+        self.cumulative_active_slots: list[int] = []
+
+    def observe(self, observation: SlotObservation) -> None:
+        """Record one slot."""
+        if observation.slot != self.num_slots:
+            raise ValueError(
+                f"slots must be observed in order: expected {self.num_slots}, "
+                f"got {observation.slot}"
+            )
+        self.num_slots += 1
+        self.num_arrivals += observation.arrivals
+        active = observation.active_before > 0
+        if active:
+            self.num_active_slots += 1
+        if observation.jammed:
+            self.num_jammed += 1
+            if active:
+                self.num_jammed_active += 1
+        outcome = observation.outcome
+        if outcome is SlotOutcome.SUCCESS:
+            self.num_successes += 1
+        elif outcome is SlotOutcome.COLLISION:
+            self.num_collisions += 1
+        elif outcome is SlotOutcome.EMPTY and active:
+            self.num_empty_active += 1
+        self.total_sends += observation.num_senders
+        self.total_listens += observation.num_listeners
+        if self.collect_series:
+            self.backlog_series.append(observation.active_after)
+            self.cumulative_arrivals.append(self.num_arrivals)
+            self.cumulative_successes.append(self.num_successes)
+            self.cumulative_jammed_active.append(self.num_jammed_active)
+            self.cumulative_active_slots.append(self.num_active_slots)
+
+    # -- Convenience -----------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        """Backlog after the most recent slot (0 before any slot)."""
+        if self.collect_series and self.backlog_series:
+            return self.backlog_series[-1]
+        return self.num_arrivals - self.num_successes
+
+    @property
+    def total_channel_accesses(self) -> int:
+        return self.total_sends + self.total_listens

@@ -1,0 +1,108 @@
+"""Throughput and implicit throughput.
+
+Definitions (Section 1.1, including the jamming extension):
+
+* ``throughput(t) = (T_t + J_t) / S_t`` — successes plus jammed slots over
+  active slots;
+* ``implicit_throughput(t) = (N_t + J_t) / S_t`` — arrivals plus jammed
+  slots over active slots.
+
+Both are computed over *active* slots only; jammed slots are counted only
+when active (jamming an empty system neither helps nor hurts the algorithm,
+and counting it would let an adversary inflate the metric for free).
+Observation 1.1: whenever the system is empty the two quantities coincide,
+which the property tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ThroughputAccounting:
+    """Cumulative counts needed to evaluate both throughput metrics."""
+
+    arrivals: int
+    successes: int
+    jammed_active: int
+    active_slots: int
+
+    def __post_init__(self) -> None:
+        if min(self.arrivals, self.successes, self.jammed_active, self.active_slots) < 0:
+            raise ValueError("counts cannot be negative")
+        if self.successes > self.arrivals:
+            raise ValueError("cannot have more successes than arrivals")
+
+    @property
+    def throughput(self) -> float:
+        """``(T + J) / S``; defined as 1.0 when there were no active slots."""
+        if self.active_slots == 0:
+            return 1.0
+        return (self.successes + self.jammed_active) / self.active_slots
+
+    @property
+    def implicit_throughput(self) -> float:
+        """``(N + J) / S``; defined as 1.0 when there were no active slots."""
+        if self.active_slots == 0:
+            return 1.0
+        return (self.arrivals + self.jammed_active) / self.active_slots
+
+
+def overall_throughput(
+    successes: int, jammed_active: int, active_slots: int
+) -> float:
+    """Overall throughput of a finished execution: ``(T + J) / S``."""
+    accounting = ThroughputAccounting(
+        arrivals=successes,
+        successes=successes,
+        jammed_active=jammed_active,
+        active_slots=active_slots,
+    )
+    return accounting.throughput
+
+
+def throughput_series(
+    cumulative_successes: Sequence[int],
+    cumulative_jammed_active: Sequence[int],
+    cumulative_active_slots: Sequence[int],
+) -> list[float]:
+    """Per-slot throughput series ``(T_t + J_t) / S_t``.
+
+    Slots before the first active slot report 1.0 (vacuous throughput), in
+    line with the paper's convention that the first slot of interest is the
+    first active slot.
+    """
+    _check_equal_lengths(
+        cumulative_successes, cumulative_jammed_active, cumulative_active_slots
+    )
+    series = []
+    for t_count, j_count, s_count in zip(
+        cumulative_successes, cumulative_jammed_active, cumulative_active_slots
+    ):
+        series.append(1.0 if s_count == 0 else (t_count + j_count) / s_count)
+    return series
+
+
+def implicit_throughput_series(
+    cumulative_arrivals: Sequence[int],
+    cumulative_jammed_active: Sequence[int],
+    cumulative_active_slots: Sequence[int],
+) -> list[float]:
+    """Per-slot implicit throughput series ``(N_t + J_t) / S_t``."""
+    _check_equal_lengths(
+        cumulative_arrivals, cumulative_jammed_active, cumulative_active_slots
+    )
+    series = []
+    for n_count, j_count, s_count in zip(
+        cumulative_arrivals, cumulative_jammed_active, cumulative_active_slots
+    ):
+        series.append(1.0 if s_count == 0 else (n_count + j_count) / s_count)
+    return series
+
+
+def _check_equal_lengths(*sequences: Sequence[int]) -> None:
+    lengths = {len(sequence) for sequence in sequences}
+    if len(lengths) > 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")

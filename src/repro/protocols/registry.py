@@ -1,0 +1,76 @@
+"""Name-based protocol registry.
+
+Experiments and benchmarks refer to protocols by short names (for example
+``"low-sensing"``, ``"binary-exponential"``) so that sweeps over protocols
+are data, not code.  The registry maps each name to a zero-argument factory
+returning a protocol configured with its experiment-default parameters;
+callers that need non-default parameters construct protocol objects directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.protocols.base import BackoffProtocol
+
+_REGISTRY: dict[str, Callable[[], BackoffProtocol]] = {}
+
+
+def register_protocol(name: str, factory: Callable[[], BackoffProtocol]) -> None:
+    """Register ``factory`` under ``name``.
+
+    Re-registering an existing name raises ``ValueError`` to catch accidental
+    collisions between modules.
+    """
+    if name in _REGISTRY:
+        raise ValueError(f"protocol name already registered: {name!r}")
+    _REGISTRY[name] = factory
+
+
+def get_protocol(name: str) -> BackoffProtocol:
+    """Instantiate the protocol registered under ``name`` with defaults."""
+    ensure_defaults_registered()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown protocol {name!r}; known protocols: {known}") from None
+    return factory()
+
+
+def available_protocols() -> Iterable[str]:
+    """Sorted names of all registered protocols."""
+    ensure_defaults_registered()
+    return sorted(_REGISTRY)
+
+
+def _register_defaults() -> None:
+    """Register the default factories for all built-in protocols.
+
+    Imports are local to avoid circular imports at package-import time (the
+    core package imports :mod:`repro.protocols.base` as well).
+    """
+    from repro.core.low_sensing import LowSensingBackoff
+    from repro.protocols.binary_exponential import BinaryExponentialBackoff
+    from repro.protocols.fixed_probability import FixedProbabilityProtocol, SlottedAloha
+    from repro.protocols.mw_full_sensing import FullSensingMultiplicativeWeights
+    from repro.protocols.polynomial_backoff import PolynomialBackoff
+    from repro.protocols.sawtooth import SawtoothBackoff
+
+    defaults: dict[str, Callable[[], BackoffProtocol]] = {
+        "low-sensing": LowSensingBackoff,
+        "binary-exponential": BinaryExponentialBackoff,
+        "polynomial": PolynomialBackoff,
+        "fixed-probability": FixedProbabilityProtocol,
+        "slotted-aloha": SlottedAloha,
+        "sawtooth": SawtoothBackoff,
+        "full-sensing-mw": FullSensingMultiplicativeWeights,
+    }
+    for name, factory in defaults.items():
+        if name not in _REGISTRY:
+            _REGISTRY[name] = factory
+
+
+def ensure_defaults_registered() -> None:
+    """Idempotently register the built-in protocol factories."""
+    _register_defaults()

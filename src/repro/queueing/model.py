@@ -1,0 +1,94 @@
+"""The (λ, S) adversarial-queuing constraint.
+
+``QueueingConstraint(rate, granularity)`` captures the model of Section 1.1:
+in every window of ``granularity`` consecutive slots, the total number of
+packet arrivals plus jammed slots is at most ``rate * granularity``.  The
+class validates recorded executions (so tests can assert that an arrival
+process plus jammer pair is admissible) and computes the per-window loads an
+execution actually used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class QueueingConstraint:
+    """(λ, S) admissibility constraint on arrivals plus jamming.
+
+    Parameters
+    ----------
+    rate:
+        The arrival rate ``λ`` (a constant in [0, 1)).
+    granularity:
+        The window size ``S``.
+    sliding:
+        When True (default) the constraint is enforced over *every* window
+        of ``granularity`` consecutive slots (the paper's formulation); when
+        False only over aligned, disjoint windows, which is the weaker
+        variant some prior work uses and which the arrival generators in
+        :mod:`repro.adversary.arrivals` target.
+    """
+
+    rate: float
+    granularity: int
+    sliding: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        if self.granularity <= 0:
+            raise ValueError("granularity must be positive")
+
+    @property
+    def window_budget(self) -> int:
+        """Maximum arrivals + jams allowed in any window: ``floor(λ·S)``."""
+        return math.floor(self.rate * self.granularity)
+
+    # -- Validation ----------------------------------------------------------
+
+    def window_loads(
+        self, arrivals: Sequence[int], jammed: Sequence[bool]
+    ) -> list[int]:
+        """Arrivals + jams per window for a recorded execution.
+
+        For the sliding formulation there is one load per starting slot
+        (``len(arrivals) - granularity + 1`` windows, or a single window
+        covering everything when the execution is shorter than ``S``); for
+        the aligned formulation one load per disjoint window.
+        """
+        if len(arrivals) != len(jammed):
+            raise ValueError("arrivals and jammed sequences must have equal length")
+        combined = [a + (1 if j else 0) for a, j in zip(arrivals, jammed)]
+        n = len(combined)
+        if n == 0:
+            return []
+        s = self.granularity
+        if not self.sliding:
+            return [sum(combined[i : i + s]) for i in range(0, n, s)]
+        if n <= s:
+            return [sum(combined)]
+        loads = []
+        window_sum = sum(combined[:s])
+        loads.append(window_sum)
+        for start in range(1, n - s + 1):
+            window_sum += combined[start + s - 1] - combined[start - 1]
+            loads.append(window_sum)
+        return loads
+
+    def is_admissible(
+        self, arrivals: Sequence[int], jammed: Sequence[bool]
+    ) -> bool:
+        """True when every window respects the ``λ·S`` budget."""
+        budget = self.window_budget
+        return all(load <= budget for load in self.window_loads(arrivals, jammed))
+
+    def max_window_load(
+        self, arrivals: Sequence[int], jammed: Sequence[bool]
+    ) -> int:
+        """The largest arrivals + jams observed in any window."""
+        loads = self.window_loads(arrivals, jammed)
+        return max(loads) if loads else 0

@@ -1,0 +1,25 @@
+"""Discrete-time simulation engine.
+
+The engine plays the paper's model slot by slot: the adversary injects
+packets and decides jamming, every active packet chooses an action from its
+protocol state, the channel resolves the slot, feedback is delivered, and
+metrics/traces are updated.  Executions are fully deterministic given a
+:class:`~repro.sim.config.SimulationConfig` (protocol, adversary, seed).
+"""
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.results import SimulationResult
+from repro.sim.rng import RandomStreams
+from repro.sim.runner import replicate, run_simulation
+
+__all__ = [
+    "Packet",
+    "RandomStreams",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "replicate",
+    "run_simulation",
+]

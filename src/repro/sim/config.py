@@ -1,0 +1,68 @@
+"""Simulation configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.adversary.base import Adversary
+from repro.core.potential import PotentialCoefficients
+from repro.protocols.base import BackoffProtocol
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to run one reproducible execution.
+
+    Parameters
+    ----------
+    protocol:
+        The contention-resolution protocol under test.
+    adversary:
+        The arrival + jamming adversary.
+    seed:
+        Master seed; all randomness (packets and adversary) derives from it.
+    max_slots:
+        Hard cap on the number of simulated slots.  Executions may stop
+        earlier when ``stop_when_drained`` is set and the system empties
+        after arrivals are exhausted.
+    stop_when_drained:
+        Stop as soon as no packets remain and the arrival process reports it
+        is exhausted (finite-stream experiments).  Open-ended experiments set
+        this to False and run to ``max_slots``.
+    collect_trace:
+        Record a full per-slot :class:`~repro.channel.trace.ExecutionTrace`.
+        Costs memory proportional to the number of slots.
+    collect_potential:
+        Track the potential function Φ(t) each slot (requires a protocol
+        whose packet state exposes a ``window`` attribute, i.e. LOW-SENSING
+        BACKOFF); used by experiment E9.
+    potential_coefficients:
+        Coefficients (α1, α2, α3) for the potential tracker.
+    """
+
+    protocol: BackoffProtocol
+    adversary: Adversary
+    seed: int = 0
+    max_slots: int = 100_000
+    stop_when_drained: bool = True
+    collect_trace: bool = False
+    collect_potential: bool = False
+    potential_coefficients: PotentialCoefficients = field(
+        default_factory=PotentialCoefficients
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_slots <= 0:
+            raise ValueError("max_slots must be positive")
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "protocol": self.protocol.describe(),
+            "adversary": self.adversary.describe(),
+            "seed": self.seed,
+            "max_slots": self.max_slots,
+            "stop_when_drained": self.stop_when_drained,
+            "collect_trace": self.collect_trace,
+            "collect_potential": self.collect_potential,
+        }

@@ -1,0 +1,263 @@
+"""The slot-by-slot simulation engine.
+
+Each slot proceeds in the order mandated by the paper's model (Section 1.1):
+
+1. the adversary, seeing the state up to the end of the previous slot,
+   injects packets and makes its (adaptive) jamming decision;
+2. every active packet — including those injected this slot — chooses an
+   action (sleep / listen / send) from its protocol state and private coins;
+3. if the adversary is reactive and has not already jammed, it sees the set
+   of senders and may jam reactively (Section 1.3);
+4. the channel resolves the slot; a unique unjammed sender succeeds and
+   departs; everyone who accessed the channel receives ternary feedback and
+   updates its protocol state;
+5. metrics, the optional trace, and the optional potential tracker record
+   the slot.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.base import Adversary, SystemView
+from repro.channel.channel import MultipleAccessChannel
+from repro.channel.feedback import SLEEP_REPORT, FeedbackReport, SlotOutcome
+from repro.channel.trace import ExecutionTrace, SlotRecord
+from repro.core.potential import PotentialTracker
+from repro.metrics.collectors import MetricsCollector, SlotObservation
+from repro.sim.config import SimulationConfig
+from repro.sim.packet import Packet
+from repro.sim.results import PacketRecord, SimulationResult
+from repro.sim.rng import RandomStreams
+
+
+class Simulator:
+    """Runs one execution described by a :class:`SimulationConfig`."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.channel = MultipleAccessChannel()
+        self.streams = RandomStreams(config.seed)
+        self._adversary_rng = self.streams.adversary_stream()
+        self._adversary: Adversary = config.adversary
+        self._active: dict[int, Packet] = {}
+        self._all_packets: list[Packet] = []
+        self._next_packet_id = 0
+        self.collector = MetricsCollector(collect_series=True)
+        self.trace: ExecutionTrace | None = (
+            ExecutionTrace() if config.collect_trace else None
+        )
+        self.potential: PotentialTracker | None = (
+            PotentialTracker(config.potential_coefficients)
+            if config.collect_potential
+            else None
+        )
+        self._slot = 0
+        self._last_outcome: SlotOutcome | None = None
+        # Contention is only computed when someone consumes it: an adversary
+        # that declares it needs it, the potential tracker, or the trace.
+        self._track_contention = bool(
+            getattr(self._adversary, "needs_contention", False)
+            or config.collect_potential
+            or config.collect_trace
+        )
+        self._needs_probabilities = bool(
+            getattr(self._adversary, "needs_probabilities", False)
+        )
+
+    # -- Public API -----------------------------------------------------------
+
+    @property
+    def slot(self) -> int:
+        """Index of the next slot to be simulated."""
+        return self._slot
+
+    @property
+    def backlog(self) -> int:
+        """Number of packets currently in the system."""
+        return len(self._active)
+
+    def active_windows(self) -> list[float]:
+        """Window sizes of active packets (for protocols that expose one)."""
+        windows = []
+        for packet in self._active.values():
+            window = getattr(packet.state, "window", None)
+            if window is not None:
+                windows.append(float(window))
+        return windows
+
+    def run(self) -> SimulationResult:
+        """Run until drained (if configured) or until ``max_slots``."""
+        config = self.config
+        while self._slot < config.max_slots:
+            if (
+                config.stop_when_drained
+                and not self._active
+                and self._arrivals_exhausted()
+            ):
+                break
+            self.step()
+        return self.result()
+
+    def step(self) -> SlotOutcome:
+        """Simulate a single slot and return its outcome."""
+        slot = self._slot
+        adversary_rng = self._adversary_rng
+        view = self._build_view()
+
+        # 1. Adversary: injections and adaptive jamming (pre-slot decision).
+        num_arrivals = self._adversary.arrivals(view, adversary_rng)
+        if num_arrivals < 0:
+            raise ValueError("adversary produced a negative arrival count")
+        arrival_ids = tuple(self._inject(slot) for _ in range(num_arrivals))
+        jammed = bool(self._adversary.jam(view, adversary_rng))
+
+        active_before = len(self._active)
+
+        # 2. Packet decisions.
+        senders: list[int] = []
+        listeners: list[int] = []
+        actions: list[tuple[Packet, bool, bool]] = []
+        for packet in self._active.values():
+            action = packet.state.decide(packet.rng)
+            is_send = action.is_send
+            is_listen = action.is_listen
+            if is_send:
+                senders.append(packet.packet_id)
+            elif is_listen:
+                listeners.append(packet.packet_id)
+            actions.append((packet, is_send, is_listen))
+
+        # 3. Reactive jamming (sees the senders of the current slot).
+        if not jammed and self._adversary.reactive:
+            jammed = bool(
+                self._adversary.reactive_jam(view, tuple(senders), adversary_rng)
+            )
+
+        # 4. Channel resolution and feedback delivery.
+        resolution = self.channel.resolve(senders, jammed=jammed)
+        feedback = resolution.feedback
+        winner = resolution.winner
+        for packet, is_send, is_listen in actions:
+            if is_send:
+                packet.record_send()
+                report = FeedbackReport(
+                    feedback=feedback,
+                    sent=True,
+                    succeeded=packet.packet_id == winner,
+                )
+            elif is_listen:
+                packet.record_listen()
+                report = FeedbackReport(feedback=feedback, sent=False)
+            else:
+                report = SLEEP_REPORT
+            packet.state.observe(report, packet.rng)
+        if winner is not None:
+            departed = self._active.pop(winner)
+            departed.mark_departed(slot)
+        active_after = len(self._active)
+
+        # 5. Metrics, trace, and potential.
+        self.collector.observe(
+            SlotObservation(
+                slot=slot,
+                outcome=resolution.outcome,
+                jammed=jammed,
+                arrivals=num_arrivals,
+                active_before=active_before,
+                active_after=active_after,
+                num_senders=len(senders),
+                num_listeners=len(listeners),
+            )
+        )
+        contention = view.contention if self._track_contention else None
+        potential_value = None
+        if self.potential is not None:
+            sample = self.potential.record(slot, self.active_windows())
+            potential_value = sample.potential
+        if self.trace is not None:
+            self.trace.append(
+                SlotRecord(
+                    slot=slot,
+                    outcome=resolution.outcome,
+                    jammed=jammed,
+                    arrivals=arrival_ids,
+                    senders=tuple(senders),
+                    listeners=tuple(listeners),
+                    winner=winner,
+                    active_before=active_before,
+                    active_after=active_after,
+                    contention=contention,
+                    potential=potential_value,
+                )
+            )
+
+        self._last_outcome = resolution.outcome
+        self._slot += 1
+        return resolution.outcome
+
+    def result(self) -> SimulationResult:
+        """Package the execution's outcome (can be called at any point)."""
+        records = [
+            PacketRecord(
+                packet_id=packet.packet_id,
+                arrival_slot=packet.arrival_slot,
+                departure_slot=packet.departure_slot,
+                sends=packet.sends,
+                listens=packet.listens,
+            )
+            for packet in self._all_packets
+        ]
+        return SimulationResult(
+            config_description=self.config.describe(),
+            protocol_name=self.config.protocol.name,
+            seed=self.config.seed,
+            num_slots=self._slot,
+            drained=not self._active and self._arrivals_exhausted(),
+            collector=self.collector,
+            packets=records,
+            trace=self.trace,
+            potential=self.potential,
+        )
+
+    # -- Internals -------------------------------------------------------------
+
+    def _inject(self, slot: int) -> int:
+        packet_id = self._next_packet_id
+        self._next_packet_id += 1
+        packet = Packet(
+            packet_id=packet_id,
+            arrival_slot=slot,
+            state=self.config.protocol.new_packet_state(),
+            rng=self.streams.packet_stream(packet_id),
+        )
+        self._active[packet_id] = packet
+        self._all_packets.append(packet)
+        return packet_id
+
+    def _build_view(self) -> SystemView:
+        active_ids = tuple(self._active)
+        probabilities: dict[int, float | None] = {}
+        contention = 0.0
+        if self._needs_probabilities or self._track_contention:
+            for packet_id, packet in self._active.items():
+                probability = packet.state.sending_probability()
+                if self._needs_probabilities:
+                    probabilities[packet_id] = probability
+                if probability is not None:
+                    contention += probability
+        return SystemView(
+            slot=self._slot,
+            active_packets=active_ids,
+            sending_probabilities=probabilities,
+            contention=contention,
+            arrivals_so_far=self.collector.num_arrivals,
+            departures_so_far=self.collector.num_successes,
+            jammed_so_far=self.collector.num_jammed,
+            active_slots_so_far=self.collector.num_active_slots,
+            last_outcome=self._last_outcome,
+        )
+
+    def _arrivals_exhausted(self) -> bool:
+        checker = getattr(self._adversary, "arrivals_exhausted", None)
+        if checker is None:
+            return False
+        return bool(checker(self._slot))

@@ -1,0 +1,202 @@
+"""Simulation results.
+
+A :class:`SimulationResult` bundles everything an execution produced: the
+cumulative counters, the optional trace and potential samples, and per-packet
+records.  Convenience methods compute the paper's metrics so experiments,
+examples, and tests never re-derive them by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.channel.trace import ExecutionTrace
+from repro.core.potential import PotentialTracker
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.energy import EnergyStatistics, PacketEnergy, energy_statistics
+from repro.metrics.latency import LatencyStatistics, PacketLatency, latency_statistics
+from repro.metrics.summary import RunSummary
+from repro.metrics.throughput import (
+    ThroughputAccounting,
+    implicit_throughput_series,
+    throughput_series,
+)
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """Immutable per-packet outcome."""
+
+    packet_id: int
+    arrival_slot: int
+    departure_slot: int | None
+    sends: int
+    listens: int
+
+    @property
+    def channel_accesses(self) -> int:
+        return self.sends + self.listens
+
+    @property
+    def departed(self) -> bool:
+        return self.departure_slot is not None
+
+    @property
+    def latency(self) -> int | None:
+        if self.departure_slot is None:
+            return None
+        return self.departure_slot - self.arrival_slot + 1
+
+
+@dataclass
+class SimulationResult:
+    """The outcome of one execution."""
+
+    config_description: dict[str, Any]
+    protocol_name: str
+    seed: int
+    num_slots: int
+    drained: bool
+    collector: MetricsCollector
+    packets: list[PacketRecord] = field(default_factory=list)
+    trace: ExecutionTrace | None = None
+    potential: PotentialTracker | None = None
+
+    # -- Basic counts ---------------------------------------------------------
+
+    @property
+    def num_arrivals(self) -> int:
+        return self.collector.num_arrivals
+
+    @property
+    def num_delivered(self) -> int:
+        return self.collector.num_successes
+
+    @property
+    def num_active_slots(self) -> int:
+        return self.collector.num_active_slots
+
+    @property
+    def num_jammed(self) -> int:
+        return self.collector.num_jammed
+
+    @property
+    def num_jammed_active(self) -> int:
+        return self.collector.num_jammed_active
+
+    @property
+    def backlog(self) -> int:
+        return self.collector.backlog
+
+    # -- Paper metrics --------------------------------------------------------
+
+    def throughput_accounting(self) -> ThroughputAccounting:
+        return ThroughputAccounting(
+            arrivals=self.num_arrivals,
+            successes=self.num_delivered,
+            jammed_active=self.num_jammed_active,
+            active_slots=self.num_active_slots,
+        )
+
+    @property
+    def throughput(self) -> float:
+        """Overall throughput ``(T + J) / S`` of the execution."""
+        return self.throughput_accounting().throughput
+
+    @property
+    def implicit_throughput(self) -> float:
+        """Implicit throughput ``(N + J) / S`` at the end of the execution."""
+        return self.throughput_accounting().implicit_throughput
+
+    def throughput_series(self) -> list[float]:
+        collector = self._require_series()
+        return throughput_series(
+            collector.cumulative_successes,
+            collector.cumulative_jammed_active,
+            collector.cumulative_active_slots,
+        )
+
+    def implicit_throughput_series(self) -> list[float]:
+        collector = self._require_series()
+        return implicit_throughput_series(
+            collector.cumulative_arrivals,
+            collector.cumulative_jammed_active,
+            collector.cumulative_active_slots,
+        )
+
+    def backlog_series(self) -> list[int]:
+        return list(self._require_series().backlog_series)
+
+    # -- Energy and latency -----------------------------------------------------
+
+    def packet_energy(self) -> list[PacketEnergy]:
+        return [
+            PacketEnergy(
+                packet_id=p.packet_id,
+                sends=p.sends,
+                listens=p.listens,
+                departed=p.departed,
+            )
+            for p in self.packets
+        ]
+
+    def energy_statistics(self, departed_only: bool = False) -> EnergyStatistics:
+        return energy_statistics(self.packet_energy(), departed_only=departed_only)
+
+    def latency_statistics(self) -> LatencyStatistics:
+        records = [
+            PacketLatency(
+                packet_id=p.packet_id, arrival_slot=p.arrival_slot, latency=p.latency
+            )
+            for p in self.packets
+        ]
+        return latency_statistics(records)
+
+    # -- Summaries ---------------------------------------------------------------
+
+    def summary(self) -> RunSummary:
+        """Headline metrics as a :class:`RunSummary` row."""
+        if self.packets:
+            energy = self.energy_statistics()
+            mean_accesses = energy.mean_accesses
+            max_accesses = float(energy.max_accesses)
+            mean_sends = energy.mean_sends
+            mean_listens = energy.mean_listens
+        else:
+            mean_accesses = max_accesses = mean_sends = mean_listens = 0.0
+        delivered = [p for p in self.packets if p.departed]
+        makespan = float(max((p.latency or 0) for p in delivered)) if delivered else 0.0
+        max_backlog = (
+            max(self.collector.backlog_series)
+            if self.collector.collect_series and self.collector.backlog_series
+            else self.backlog
+        )
+        return RunSummary(
+            protocol=self.protocol_name,
+            seed=self.seed,
+            num_arrivals=self.num_arrivals,
+            num_delivered=self.num_delivered,
+            num_active_slots=self.num_active_slots,
+            num_jammed_active=self.num_jammed_active,
+            num_slots=self.num_slots,
+            throughput=self.throughput,
+            implicit_throughput=self.implicit_throughput,
+            mean_accesses=mean_accesses,
+            max_accesses=max_accesses,
+            mean_sends=mean_sends,
+            mean_listens=mean_listens,
+            max_backlog=int(max_backlog),
+            makespan=makespan,
+            drained=self.drained,
+        )
+
+    # -- Helpers -------------------------------------------------------------------
+
+    def _require_series(self) -> MetricsCollector:
+        if not self.collector.collect_series:
+            raise ValueError(
+                "per-slot series were not collected; construct the simulation "
+                "with series collection enabled"
+            )
+        return self.collector

@@ -1,0 +1,156 @@
+"""Tests for statistics, scaling-model fitting, and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.fitting import (
+    fit_constant,
+    fit_linear,
+    fit_log_power,
+    fit_power_law,
+    select_scaling_model,
+)
+from repro.analysis.statistics import (
+    bootstrap_mean_interval,
+    describe,
+    mean_confidence_interval,
+)
+from repro.analysis.tables import format_table, render_rows
+
+
+class TestDescribe:
+    def test_basic_statistics(self):
+        stats = describe([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+        assert stats["median"] == pytest.approx(2.5)
+        assert stats["n"] == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+
+class TestConfidenceIntervals:
+    def test_interval_brackets_mean(self):
+        interval = mean_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert interval.low <= interval.estimate <= interval.high
+        assert interval.contains(3.0)
+
+    def test_wider_confidence_gives_wider_interval(self):
+        values = [float(v) for v in range(20)]
+        narrow = mean_confidence_interval(values, confidence=0.90)
+        wide = mean_confidence_interval(values, confidence=0.99)
+        assert wide.width > narrow.width
+
+    def test_requires_two_values(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0])
+
+    def test_unsupported_confidence(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=0.5)
+
+    def test_bootstrap_interval(self):
+        values = [1.0, 2.0, 3.0, 4.0, 100.0]
+        interval = bootstrap_mean_interval(values, seed=1)
+        assert interval.low <= interval.estimate <= interval.high
+
+    def test_bootstrap_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval([], seed=1)
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval([1.0], resamples=2)
+
+
+class TestFitting:
+    def test_constant_fit(self):
+        fit = fit_constant([1, 2, 3, 4], [5.0, 5.1, 4.9, 5.0])
+        assert fit.parameters["a"] == pytest.approx(5.0, abs=0.1)
+        assert fit.predict(100) == fit.parameters["a"]
+
+    def test_linear_fit_recovers_slope(self):
+        xs = [10, 20, 40, 80]
+        ys = [2 + 3 * x for x in xs]
+        fit = fit_linear(xs, ys)
+        assert fit.parameters["b"] == pytest.approx(3.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_power_law_fit_recovers_exponent(self):
+        xs = [10, 20, 40, 80, 160]
+        ys = [2.0 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.parameters["b"] == pytest.approx(1.5, rel=1e-6)
+
+    def test_log_power_fit_recovers_exponent(self):
+        xs = [50, 100, 200, 400, 800]
+        ys = [3.0 * math.log(x) ** 3 for x in xs]
+        fit = fit_log_power(xs, ys)
+        assert fit.parameters["k"] == pytest.approx(3.0)
+        assert fit.parameters["a"] == pytest.approx(3.0, rel=0.05)
+
+    def test_log_power_rejects_x_at_most_one(self):
+        with pytest.raises(ValueError):
+            fit_log_power([1, 2], [1.0, 2.0])
+
+    def test_power_law_rejects_nonpositive_y(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0.0, 1.0])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_constant([1], [1.0])
+
+    def test_select_prefers_log_power_for_polylog_data(self):
+        xs = [50, 100, 200, 400, 800, 1600]
+        ys = [2.0 * math.log(x) ** 3 for x in xs]
+        best = select_scaling_model(xs, ys)
+        assert best.model == "log-power"
+
+    def test_select_prefers_linear_for_linear_data(self):
+        xs = [50, 100, 200, 400, 800]
+        ys = [5.0 * x for x in xs]
+        best = select_scaling_model(xs, ys)
+        assert best.model in ("linear", "power")
+        if best.model == "power":
+            assert best.parameters["b"] == pytest.approx(1.0, abs=0.05)
+
+    def test_select_prefers_constant_for_flat_data(self):
+        xs = [50, 100, 200, 400]
+        ys = [7.0, 7.0, 7.0, 7.0]
+        assert select_scaling_model(xs, ys).model == "constant"
+
+    def test_select_rejects_bad_penalty(self):
+        with pytest.raises(ValueError):
+            select_scaling_model([1, 2], [1.0, 2.0], complexity_penalty=0.5)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "b"], [[1, 2.34567], ["xy", 3]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "2.346" in table
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_booleans_render_as_yes_no(self):
+        table = format_table(["ok"], [[True], [False]])
+        assert "yes" in table and "no" in table
+
+    def test_render_rows_selects_columns(self):
+        rows = [{"x": 1, "y": 2}, {"x": 3, "y": 4}]
+        rendered = render_rows(rows, columns=["y"])
+        assert "y" in rendered and "x" not in rendered.splitlines()[0]
+
+    def test_render_rows_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_rows([])

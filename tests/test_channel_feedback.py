@@ -1,0 +1,74 @@
+"""Tests for the ternary feedback alphabet and slot outcomes."""
+
+import pytest
+
+from repro.channel.feedback import (
+    SLEEP_REPORT,
+    Feedback,
+    FeedbackReport,
+    SlotOutcome,
+)
+
+
+class TestFeedback:
+    def test_alphabet_has_exactly_three_symbols(self):
+        assert {f.name for f in Feedback} == {"EMPTY", "SUCCESS", "NOISE"}
+
+    def test_empty_is_not_busy(self):
+        assert not Feedback.EMPTY.is_busy
+
+    def test_success_is_busy(self):
+        assert Feedback.SUCCESS.is_busy
+
+    def test_noise_is_busy(self):
+        assert Feedback.NOISE.is_busy
+
+
+class TestSlotOutcome:
+    def test_empty_maps_to_empty_feedback(self):
+        assert SlotOutcome.EMPTY.feedback is Feedback.EMPTY
+
+    def test_success_maps_to_success_feedback(self):
+        assert SlotOutcome.SUCCESS.feedback is Feedback.SUCCESS
+
+    def test_collision_maps_to_noise(self):
+        assert SlotOutcome.COLLISION.feedback is Feedback.NOISE
+
+    def test_jammed_maps_to_noise(self):
+        # A listener cannot distinguish jamming from a collision.
+        assert SlotOutcome.JAMMED.feedback is Feedback.NOISE
+
+    def test_wasted_slots_are_empty_and_collision_only(self):
+        assert SlotOutcome.EMPTY.is_wasted
+        assert SlotOutcome.COLLISION.is_wasted
+        assert not SlotOutcome.SUCCESS.is_wasted
+        assert not SlotOutcome.JAMMED.is_wasted
+
+
+class TestFeedbackReport:
+    def test_sender_report_requires_feedback(self):
+        with pytest.raises(ValueError):
+            FeedbackReport(feedback=None, sent=True)
+
+    def test_success_requires_sending(self):
+        with pytest.raises(ValueError):
+            FeedbackReport(feedback=Feedback.SUCCESS, sent=False, succeeded=True)
+
+    def test_sleep_report_learns_nothing(self):
+        assert SLEEP_REPORT.feedback is None
+        assert not SLEEP_REPORT.sent
+        assert not SLEEP_REPORT.succeeded
+
+    def test_listener_report(self):
+        report = FeedbackReport(feedback=Feedback.EMPTY, sent=False)
+        assert report.feedback is Feedback.EMPTY
+        assert not report.succeeded
+
+    def test_successful_sender_report(self):
+        report = FeedbackReport(feedback=Feedback.SUCCESS, sent=True, succeeded=True)
+        assert report.sent and report.succeeded
+
+    def test_reports_are_immutable(self):
+        report = FeedbackReport(feedback=Feedback.NOISE, sent=True)
+        with pytest.raises(AttributeError):
+            report.sent = False

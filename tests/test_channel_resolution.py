@@ -1,0 +1,84 @@
+"""Tests for slot resolution and per-slot actions."""
+
+import pytest
+
+from repro.channel.actions import Action, ActionKind
+from repro.channel.channel import MultipleAccessChannel
+from repro.channel.feedback import Feedback, SlotOutcome
+
+
+class TestAction:
+    def test_sleep_does_not_access_channel(self):
+        assert not Action.sleep().accesses_channel
+
+    def test_listen_accesses_channel(self):
+        assert Action.listen().accesses_channel
+
+    def test_send_accesses_channel(self):
+        assert Action.send().accesses_channel
+
+    def test_kind_predicates(self):
+        assert Action.send().is_send
+        assert Action.listen().is_listen
+        assert Action.sleep().is_sleep
+        assert not Action.send().is_listen
+
+    def test_constructors_return_singletons(self):
+        assert Action.sleep() is Action.sleep()
+        assert Action.send() is Action.send()
+
+    def test_kinds_are_distinct(self):
+        kinds = {Action.sleep().kind, Action.listen().kind, Action.send().kind}
+        assert kinds == {ActionKind.SLEEP, ActionKind.LISTEN, ActionKind.SEND}
+
+
+class TestChannelResolution:
+    def setup_method(self):
+        self.channel = MultipleAccessChannel()
+
+    def test_no_senders_is_empty(self):
+        resolution = self.channel.resolve([])
+        assert resolution.outcome is SlotOutcome.EMPTY
+        assert resolution.winner is None
+        assert resolution.feedback is Feedback.EMPTY
+
+    def test_single_sender_succeeds(self):
+        resolution = self.channel.resolve([42])
+        assert resolution.outcome is SlotOutcome.SUCCESS
+        assert resolution.winner == 42
+        assert resolution.feedback is Feedback.SUCCESS
+
+    def test_two_senders_collide(self):
+        resolution = self.channel.resolve([1, 2])
+        assert resolution.outcome is SlotOutcome.COLLISION
+        assert resolution.winner is None
+        assert resolution.feedback is Feedback.NOISE
+
+    def test_many_senders_collide(self):
+        resolution = self.channel.resolve(list(range(10)))
+        assert resolution.outcome is SlotOutcome.COLLISION
+        assert resolution.num_senders == 10
+
+    def test_jammed_empty_slot_is_noisy(self):
+        resolution = self.channel.resolve([], jammed=True)
+        assert resolution.outcome is SlotOutcome.JAMMED
+        assert resolution.feedback is Feedback.NOISE
+
+    def test_jamming_destroys_single_sender(self):
+        # A packet that sends during a jammed slot collides and stays.
+        resolution = self.channel.resolve([7], jammed=True)
+        assert resolution.outcome is SlotOutcome.JAMMED
+        assert resolution.winner is None
+
+    def test_jamming_with_many_senders(self):
+        resolution = self.channel.resolve([1, 2, 3], jammed=True)
+        assert resolution.outcome is SlotOutcome.JAMMED
+        assert resolution.jammed
+
+    def test_duplicate_senders_rejected(self):
+        with pytest.raises(ValueError):
+            self.channel.resolve([1, 1])
+
+    def test_senders_are_preserved(self):
+        resolution = self.channel.resolve([3, 1, 2])
+        assert set(resolution.senders) == {1, 2, 3}

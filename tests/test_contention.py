@@ -1,0 +1,106 @@
+"""Tests for contention and the Lemma 5.1–5.3 probability bounds."""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.core.contention import (
+    ContentionRegime,
+    classify_contention,
+    contention,
+    empty_probability_bounds,
+    noisy_probability_lower_bound,
+    success_probability_bounds,
+)
+
+
+class TestContention:
+    def test_contention_is_sum_of_probabilities(self):
+        assert contention([0.5, 0.25, 0.25]) == pytest.approx(1.0)
+
+    def test_empty_system_has_zero_contention(self):
+        assert contention([]) == 0.0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            contention([0.5, 1.5])
+        with pytest.raises(ValueError):
+            contention([-0.1])
+
+
+class TestRegimes:
+    def test_low_good_high(self):
+        assert classify_contention(0.001) is ContentionRegime.LOW
+        assert classify_contention(1.0) is ContentionRegime.GOOD
+        assert classify_contention(10.0) is ContentionRegime.HIGH
+
+    def test_boundaries_are_good(self):
+        assert classify_contention(1.0 / 64.0) is ContentionRegime.GOOD
+        assert classify_contention(4.0) is ContentionRegime.GOOD
+
+    def test_custom_thresholds(self):
+        assert classify_contention(0.5, c_low=0.6, c_high=2.0) is ContentionRegime.LOW
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            classify_contention(1.0, c_low=2.0, c_high=1.0)
+
+    def test_negative_contention_rejected(self):
+        with pytest.raises(ValueError):
+            classify_contention(-1.0)
+
+
+class TestLemmaBounds:
+    def test_success_bounds_order(self):
+        for c in (0.1, 0.5, 1.0, 2.0, 5.0):
+            low, high = success_probability_bounds(c)
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_empty_bounds_order(self):
+        for c in (0.0, 0.5, 1.0, 3.0):
+            low, high = empty_probability_bounds(c)
+            assert 0.0 < low <= high <= 1.0
+
+    def test_noisy_bound_is_a_probability(self):
+        for c in (0.0, 1.0, 5.0, 20.0):
+            assert 0.0 <= noisy_probability_lower_bound(c) <= 1.0
+
+    def test_noisy_bound_grows_with_contention(self):
+        assert noisy_probability_lower_bound(8.0) > noisy_probability_lower_bound(1.0)
+
+    def test_bounds_reject_negative_contention(self):
+        with pytest.raises(ValueError):
+            success_probability_bounds(-0.1)
+        with pytest.raises(ValueError):
+            empty_probability_bounds(-0.1)
+        with pytest.raises(ValueError):
+            noisy_probability_lower_bound(-0.1)
+
+    def test_empirical_slot_outcomes_respect_lemma_bounds(self):
+        """Monte-Carlo check of Lemmas 5.1–5.3 for a concrete window vector."""
+        rng = Random(5)
+        windows = [32.0, 64.0, 50.0, 40.0, 128.0]
+        c = sum(1.0 / w for w in windows)
+        trials = 40_000
+        empty = success = 0
+        for _ in range(trials):
+            senders = sum(1 for w in windows if rng.random() < 1.0 / w)
+            if senders == 0:
+                empty += 1
+            elif senders == 1:
+                success += 1
+        p_empty = empty / trials
+        p_success = success / trials
+        p_noisy = 1.0 - p_empty - p_success
+        success_low, success_high = success_probability_bounds(c)
+        empty_low, empty_high = empty_probability_bounds(c)
+        margin = 0.02
+        assert success_low - margin <= p_success <= success_high + margin
+        assert empty_low - margin <= p_empty <= empty_high + margin
+        assert p_noisy >= noisy_probability_lower_bound(c) - margin
+
+    def test_success_probability_peaks_near_contention_one(self):
+        lower_at_one = success_probability_bounds(1.0)[0]
+        assert lower_at_one == pytest.approx(math.exp(-2.0), rel=1e-6)
+        assert lower_at_one > success_probability_bounds(8.0)[1]

@@ -1,0 +1,233 @@
+"""Integration tests that check the paper's qualitative claims at small scale.
+
+These are the shape checks the reproduction stands on: constant-ish
+throughput for LOW-SENSING BACKOFF where binary exponential backoff decays,
+polylog-like energy growth, robustness to jamming, bounded backlog under
+adversarial-queuing arrivals, and the reactive-adversary worst-vs-average
+energy separation.  Thresholds are deliberately loose: they encode the
+direction and rough magnitude of each effect, not exact constants.
+"""
+
+import math
+
+import pytest
+
+from repro.adversary.arrivals import AdversarialQueueingArrivals, BatchArrivals
+from repro.adversary.composite import CompositeAdversary
+from repro.adversary.jamming import (
+    AdaptiveContentionJammer,
+    BernoulliJamming,
+    BurstJamming,
+    ReactiveTargetedJammer,
+)
+from repro.core.low_sensing import LowSensingBackoff
+from repro.protocols.binary_exponential import BinaryExponentialBackoff
+from repro.protocols.mw_full_sensing import FullSensingMultiplicativeWeights
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+
+from tests.conftest import run_batch
+
+
+def mean(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+class TestConstantThroughput:
+    """Corollary 1.4 versus the O(1/ln N) behaviour of BEB."""
+
+    SIZES = (50, 200, 600)
+    SEEDS = (3, 17)
+
+    def _throughputs(self, protocol_factory):
+        by_size = {}
+        for n in self.SIZES:
+            by_size[n] = mean(
+                run_batch(protocol_factory(), n, seed=seed).throughput
+                for seed in self.SEEDS
+            )
+        return by_size
+
+    def test_low_sensing_throughput_does_not_collapse_with_n(self):
+        throughputs = self._throughputs(LowSensingBackoff)
+        assert all(value > 0.15 for value in throughputs.values())
+        # Larger batches amortise the fixed tail, so throughput should not
+        # degrade by more than a small factor from the smallest size.
+        assert throughputs[self.SIZES[-1]] >= 0.6 * throughputs[self.SIZES[0]]
+
+    def test_beb_throughput_degrades_with_n(self):
+        throughputs = self._throughputs(BinaryExponentialBackoff)
+        assert throughputs[self.SIZES[-1]] < 0.6 * throughputs[self.SIZES[0]]
+
+    def test_low_sensing_beats_beb_at_moderate_scale(self):
+        lsb = mean(run_batch(LowSensingBackoff(), 400, seed=s).throughput for s in self.SEEDS)
+        beb = mean(
+            run_batch(BinaryExponentialBackoff(), 400, seed=s).throughput for s in self.SEEDS
+        )
+        assert lsb > 3.0 * beb
+
+    def test_full_sensing_mw_also_constant_but_comparable(self):
+        lsb = run_batch(LowSensingBackoff(), 300, seed=3).throughput
+        mw = run_batch(FullSensingMultiplicativeWeights(), 300, seed=3).throughput
+        assert mw > 0.15
+        assert lsb > 0.4 * mw
+
+
+class TestEnergyEfficiency:
+    """Theorem 1.6 (polylog accesses) and the E8 trade-off claim."""
+
+    def test_accesses_grow_much_slower_than_n(self):
+        small = run_batch(LowSensingBackoff(), 100, seed=5).energy_statistics()
+        large = run_batch(LowSensingBackoff(), 800, seed=5).energy_statistics()
+        growth = large.mean_accesses / small.mean_accesses
+        assert growth < 4.0  # an 8x larger batch costs well under 8x accesses
+
+    def test_accesses_within_polylog_envelope(self):
+        for n, seed in ((200, 1), (400, 2), (800, 3)):
+            stats = run_batch(LowSensingBackoff(), n, seed=seed).energy_statistics()
+            envelope = 3.0 * math.log(n) ** 3
+            assert stats.mean_accesses < envelope
+            assert stats.max_accesses < 60.0 * math.log(n) ** 2 * math.log(n)
+
+    def test_low_sensing_listens_less_than_full_sensing(self):
+        lsb = run_batch(LowSensingBackoff(), 300, seed=7).energy_statistics()
+        mw = run_batch(FullSensingMultiplicativeWeights(), 300, seed=7).energy_statistics()
+        assert mw.mean_accesses > 1.5 * lsb.mean_accesses
+
+    def test_beb_is_send_cheap_but_slow(self):
+        beb_result = run_batch(BinaryExponentialBackoff(), 300, seed=7)
+        lsb_result = run_batch(LowSensingBackoff(), 300, seed=7)
+        assert beb_result.energy_statistics().mean_accesses < (
+            lsb_result.energy_statistics().mean_accesses
+        )
+        assert beb_result.num_active_slots > 2.0 * lsb_result.num_active_slots
+
+
+class TestJammingRobustness:
+    """Corollary 1.4 with J > 0: (T+J)/S stays bounded away from zero."""
+
+    @pytest.mark.parametrize(
+        "jammer_factory",
+        [
+            lambda: BernoulliJamming(probability=0.2, budget=200),
+            lambda: BurstJamming(start=30, length=150),
+            lambda: AdaptiveContentionJammer(budget=200, target_regime="good"),
+        ],
+    )
+    def test_throughput_with_jamming(self, jammer_factory):
+        result = run_batch(LowSensingBackoff(), 200, seed=9, jammer=jammer_factory())
+        assert result.num_delivered == 200
+        assert result.throughput > 0.12
+
+    def test_energy_still_polylog_with_jamming(self):
+        result = run_batch(
+            LowSensingBackoff(),
+            200,
+            seed=9,
+            jammer=BernoulliJamming(probability=0.3, budget=400),
+        )
+        n_plus_j = 200 + result.num_jammed_active
+        assert result.energy_statistics().mean_accesses < 3.0 * math.log(n_plus_j) ** 3
+
+    def test_recovery_after_jamming_burst(self):
+        # Everything is jammed for a while; afterwards the system drains.
+        result = run_batch(
+            LowSensingBackoff(), 100, seed=4, jammer=BurstJamming(start=0, length=300)
+        )
+        assert result.drained
+        assert result.num_delivered == 100
+
+
+class TestAdversarialQueueing:
+    """Corollary 1.5 (bounded backlog) and Theorem 1.7 (polylog energy)."""
+
+    def run_queueing(self, granularity: int, seed: int = 11, rate: float = 0.2):
+        horizon = granularity * 25
+        config = SimulationConfig(
+            protocol=LowSensingBackoff(),
+            adversary=CompositeAdversary(
+                AdversarialQueueingArrivals(
+                    rate=rate,
+                    granularity=granularity,
+                    placement="front",
+                    horizon=horizon,
+                )
+            ),
+            seed=seed,
+            max_slots=horizon * 4,
+        )
+        return Simulator(config).run()
+
+    def test_backlog_bounded_by_multiple_of_granularity(self):
+        for granularity in (100, 300):
+            result = self.run_queueing(granularity)
+            assert max(result.backlog_series()) <= 2.0 * granularity
+
+    def test_implicit_throughput_stays_constant(self):
+        result = self.run_queueing(200)
+        series = result.implicit_throughput_series()
+        tail = series[200:]
+        assert min(tail) > 0.1
+
+    def test_energy_polylog_in_granularity(self):
+        result = self.run_queueing(200)
+        stats = result.energy_statistics(departed_only=True)
+        assert stats.mean_accesses < 3.0 * math.log(200) ** 3
+
+    def test_system_keeps_up_with_arrivals(self):
+        result = self.run_queueing(150)
+        # At a low arrival rate the system repeatedly drains: the final
+        # backlog is a small fraction of everything that arrived.
+        assert result.num_delivered > 0.9 * result.num_arrivals
+
+
+class TestReactiveAdversary:
+    """Theorem 1.9: targeted packets pay ~linear-in-J, the average does not."""
+
+    def test_victim_vs_average_accesses(self):
+        budget = 60
+        result = run_batch(
+            LowSensingBackoff(),
+            150,
+            seed=13,
+            jammer=ReactiveTargetedJammer(budget=budget, target_index=0),
+        )
+        victim = next(p for p in result.packets if p.packet_id == 0)
+        others = [p for p in result.packets if p.packet_id != 0]
+        average_others = mean(p.channel_accesses for p in others)
+        assert victim.channel_accesses >= budget
+        assert victim.channel_accesses > 3.0 * average_others
+        # The average over all packets stays within a polylog envelope.
+        overall = result.energy_statistics().mean_accesses
+        assert overall < 5.0 * math.log(150 + budget) ** 3
+
+    def test_victim_eventually_succeeds_once_budget_exhausted(self):
+        result = run_batch(
+            LowSensingBackoff(),
+            50,
+            seed=13,
+            jammer=ReactiveTargetedJammer(budget=20, target_index=0),
+        )
+        assert result.drained
+        assert all(p.departed for p in result.packets)
+
+
+class TestPotentialDrift:
+    """Theorem 5.18 / Corollary 5.22, measured on a real execution."""
+
+    def test_max_potential_linear_in_arrivals(self):
+        for n in (100, 300):
+            result = run_batch(LowSensingBackoff(), n, seed=6, collect_potential=True)
+            assert result.potential.max_potential() < 12.0 * n
+
+    def test_potential_hits_zero_when_drained(self):
+        result = run_batch(LowSensingBackoff(), 80, seed=6, collect_potential=True)
+        assert result.drained
+        assert result.potential.samples[-1].potential == 0.0
+
+    def test_majority_of_mass_moves_downhill(self):
+        result = run_batch(LowSensingBackoff(), 300, seed=6, collect_potential=True)
+        drifts = result.potential.interval_drifts()
+        total_drift = sum(d for _, _, d in drifts)
+        assert total_drift < 0.0

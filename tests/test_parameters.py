@@ -1,0 +1,100 @@
+"""Tests for the LOW-SENSING BACKOFF parameters (Section 3 constraints)."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import LowSensingParameters
+
+
+class TestConstraints:
+    def test_default_parameters_satisfy_paper_constraints(self):
+        params = LowSensingParameters()
+        assert params.satisfies_paper_constraints()
+
+    def test_w_min_must_exceed_two(self):
+        with pytest.raises(ValueError):
+            LowSensingParameters(c=0.1, w_min=2.0)
+
+    def test_c_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LowSensingParameters(c=0.0, w_min=32.0)
+
+    def test_strict_rejects_violating_combination(self):
+        # w_min = 16 gives w_min / ln^3(w_min) ≈ 0.75 < c = 1.
+        with pytest.raises(ValueError):
+            LowSensingParameters(c=1.0, w_min=16.0)
+
+    def test_non_strict_accepts_and_clamps(self):
+        params = LowSensingParameters(c=1.0, w_min=16.0, strict=False)
+        assert params.access_probability(16.0) == 1.0
+
+    def test_boundary_combination_is_accepted(self):
+        w_min = 100.0
+        c = w_min / math.log(w_min) ** 3
+        params = LowSensingParameters(c=c, w_min=w_min)
+        assert params.access_probability(w_min) == pytest.approx(1.0)
+
+
+class TestProbabilities:
+    def setup_method(self):
+        self.params = LowSensingParameters(c=0.5, w_min=32.0)
+
+    def test_access_probability_formula(self):
+        w = 64.0
+        expected = 0.5 * math.log(w) ** 3 / w
+        assert self.params.access_probability(w) == pytest.approx(expected)
+
+    def test_send_given_access_formula(self):
+        w = 64.0
+        expected = 1.0 / (0.5 * math.log(w) ** 3)
+        assert self.params.send_probability_given_access(w) == pytest.approx(expected)
+
+    def test_unconditional_send_probability_is_one_over_w(self):
+        # The product of the two probabilities is exactly 1/w (Figure 1).
+        for w in (32.0, 50.0, 100.0, 1000.0, 1e6):
+            assert self.params.send_probability(w) == pytest.approx(1.0 / w)
+
+    def test_access_probability_decreases_in_window(self):
+        probabilities = [self.params.access_probability(w) for w in (32, 100, 1000, 10000)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_probabilities_are_valid(self):
+        for w in (32.0, 64.0, 1e3, 1e6, 1e9):
+            assert 0.0 < self.params.access_probability(w) <= 1.0
+            assert 0.0 < self.params.send_probability_given_access(w) <= 1.0
+
+    def test_window_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            self.params.access_probability(10.0)
+
+
+class TestWindowUpdates:
+    def setup_method(self):
+        self.params = LowSensingParameters(c=0.5, w_min=32.0)
+
+    def test_update_factor_formula(self):
+        w = 64.0
+        assert self.params.update_factor(w) == pytest.approx(1.0 + 1.0 / (0.5 * math.log(w)))
+
+    def test_backoff_increases_window(self):
+        assert self.params.backoff(64.0) > 64.0
+
+    def test_backon_decreases_window(self):
+        assert self.params.backon(64.0) < 64.0
+
+    def test_backon_clamps_at_w_min(self):
+        assert self.params.backon(32.0) == 32.0
+        assert self.params.backon(32.5) >= 32.0
+
+    def test_backoff_then_backon_is_close_to_identity(self):
+        w = 100.0
+        round_trip = self.params.backon(self.params.backoff(w))
+        # Not exactly the identity (the factor is evaluated at different
+        # windows) but within a small relative error.
+        assert round_trip == pytest.approx(w, rel=0.05)
+
+    def test_describe_contains_parameters(self):
+        description = self.params.describe()
+        assert description["c"] == 0.5
+        assert description["w_min"] == 32.0

@@ -1,0 +1,53 @@
+"""Tests for the protocol registry."""
+
+import pytest
+
+from repro.protocols.base import BackoffProtocol
+from repro.protocols.registry import (
+    available_protocols,
+    get_protocol,
+    register_protocol,
+)
+
+
+EXPECTED_BUILTINS = {
+    "low-sensing",
+    "binary-exponential",
+    "polynomial",
+    "fixed-probability",
+    "slotted-aloha",
+    "sawtooth",
+    "full-sensing-mw",
+}
+
+
+class TestRegistry:
+    def test_all_builtin_protocols_are_registered(self):
+        assert EXPECTED_BUILTINS.issubset(set(available_protocols()))
+
+    def test_get_protocol_returns_matching_name(self):
+        for name in EXPECTED_BUILTINS:
+            protocol = get_protocol(name)
+            assert isinstance(protocol, BackoffProtocol)
+            assert protocol.name == name
+
+    def test_unknown_protocol_raises_with_known_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_protocol("does-not-exist")
+        assert "low-sensing" in str(excinfo.value)
+
+    def test_registering_duplicate_name_rejected(self):
+        name = next(iter(EXPECTED_BUILTINS))
+        with pytest.raises(ValueError):
+            register_protocol(name, lambda: get_protocol("low-sensing"))
+
+    def test_custom_registration(self):
+        from repro.protocols.fixed_probability import FixedProbabilityProtocol
+
+        register_protocol("test-custom-proto", lambda: FixedProbabilityProtocol(0.5))
+        protocol = get_protocol("test-custom-proto")
+        assert protocol.probability == 0.5
+
+    def test_available_protocols_sorted(self):
+        names = list(available_protocols())
+        assert names == sorted(names)

@@ -1,0 +1,101 @@
+"""Tests for execution traces."""
+
+import pytest
+
+from repro.channel.feedback import SlotOutcome
+from repro.channel.trace import ExecutionTrace, SlotRecord
+
+
+def make_record(slot: int, outcome=SlotOutcome.EMPTY, active=1, **kwargs) -> SlotRecord:
+    defaults = dict(
+        slot=slot,
+        outcome=outcome,
+        jammed=kwargs.pop("jammed", False),
+        arrivals=kwargs.pop("arrivals", ()),
+        senders=kwargs.pop("senders", ()),
+        listeners=kwargs.pop("listeners", ()),
+        winner=kwargs.pop("winner", None),
+        active_before=active,
+        active_after=kwargs.pop("active_after", active),
+    )
+    defaults.update(kwargs)
+    return SlotRecord(**defaults)
+
+
+class TestSlotRecord:
+    def test_active_flag(self):
+        assert make_record(0, active=3).is_active
+        assert not make_record(0, active=0).is_active
+
+    def test_success_flag(self):
+        assert make_record(0, outcome=SlotOutcome.SUCCESS).is_success
+        assert not make_record(0, outcome=SlotOutcome.COLLISION).is_success
+
+
+class TestExecutionTrace:
+    def test_records_must_start_at_slot_zero(self):
+        trace = ExecutionTrace()
+        with pytest.raises(ValueError):
+            trace.append(make_record(5))
+
+    def test_records_must_be_consecutive(self):
+        trace = ExecutionTrace()
+        trace.append(make_record(0))
+        with pytest.raises(ValueError):
+            trace.append(make_record(2))
+
+    def test_len_iteration_and_indexing(self):
+        trace = ExecutionTrace()
+        for slot in range(5):
+            trace.append(make_record(slot))
+        assert len(trace) == 5
+        assert [r.slot for r in trace] == list(range(5))
+        assert trace[3].slot == 3
+
+    def test_aggregate_counts(self):
+        trace = ExecutionTrace()
+        trace.append(make_record(0, outcome=SlotOutcome.SUCCESS, winner=1, senders=(1,)))
+        trace.append(make_record(1, outcome=SlotOutcome.COLLISION, senders=(1, 2)))
+        trace.append(make_record(2, outcome=SlotOutcome.JAMMED, jammed=True))
+        trace.append(make_record(3, outcome=SlotOutcome.EMPTY, active=0))
+        assert trace.num_slots == 4
+        assert trace.num_successes == 1
+        assert trace.num_collisions == 1
+        assert trace.num_jammed == 1
+        assert trace.num_empty == 1
+        assert trace.num_active_slots == 3
+
+    def test_arrival_count(self):
+        trace = ExecutionTrace()
+        trace.append(make_record(0, arrivals=(0, 1, 2)))
+        trace.append(make_record(1, arrivals=(3,)))
+        assert trace.num_arrivals == 4
+
+    def test_window_slicing(self):
+        trace = ExecutionTrace()
+        for slot in range(10):
+            trace.append(make_record(slot))
+        window = trace.window(3, 6)
+        assert [r.slot for r in window] == [3, 4, 5]
+
+    def test_window_rejects_bad_bounds(self):
+        trace = ExecutionTrace()
+        with pytest.raises(ValueError):
+            trace.window(-1, 2)
+        with pytest.raises(ValueError):
+            trace.window(5, 2)
+
+    def test_active_slot_indices(self):
+        trace = ExecutionTrace()
+        trace.append(make_record(0, active=0))
+        trace.append(make_record(1, active=2))
+        trace.append(make_record(2, active=0))
+        assert trace.active_slot_indices() == [1]
+
+    def test_outcome_counts_cover_all_outcomes(self):
+        trace = ExecutionTrace()
+        trace.append(make_record(0, outcome=SlotOutcome.SUCCESS))
+        counts = trace.outcome_counts()
+        assert set(counts) == set(SlotOutcome)
+        assert counts[SlotOutcome.SUCCESS] == 1
+        assert counts[SlotOutcome.JAMMED] == 0
