@@ -13,7 +13,9 @@ so that EXPERIMENTS.md can be refreshed from an actual run.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 import pytest
 
@@ -21,6 +23,11 @@ from repro.experiments.reporting import render_report
 from repro.experiments.spec import ExperimentReport
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Wall-clock-per-experiment artifact.  Each benchmark run updates its own
+#: entry, so the file accumulates the latest timing of every experiment and
+#: future PRs can track the pipeline's speedup trajectory against it.
+BENCH_PIPELINE_PATH = RESULTS_DIR / "BENCH_pipeline.json"
 
 #: Scale used by the benchmark suite.  "default" reproduces the shapes the
 #: paper claims at laptop scale; switch to "full" for a slower, larger sweep.
@@ -36,11 +43,30 @@ def save_report(report: ExperimentReport) -> str:
     return rendered
 
 
+def record_wall_clock(exp_id: str, seconds: float, scale: str) -> None:
+    """Merge one experiment's wall-clock time into ``BENCH_pipeline.json``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    data: dict = {}
+    if BENCH_PIPELINE_PATH.exists():
+        try:
+            data = json.loads(BENCH_PIPELINE_PATH.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            data = {}
+        if not isinstance(data, dict):
+            data = {}
+    data[exp_id] = {"seconds": round(seconds, 4), "scale": scale}
+    BENCH_PIPELINE_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
 def run_experiment_benchmark(benchmark, experiment, scale: str = BENCH_SCALE):
     """Run ``experiment`` once under pytest-benchmark and persist its report."""
+    started = time.perf_counter()
     report = benchmark.pedantic(
         lambda: experiment(scale=scale), rounds=1, iterations=1, warmup_rounds=0
     )
+    record_wall_clock(report.spec.exp_id, time.perf_counter() - started, scale)
     rendered = save_report(report)
     print()
     print(rendered)

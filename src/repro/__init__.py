@@ -50,6 +50,12 @@ from repro.protocols import (
     available_protocols,
     get_protocol,
 )
+from repro.exec import (
+    ProcessPoolBackend,
+    ResultCacheBackend,
+    SerialBackend,
+    make_backend,
+)
 from repro.queueing import QueueingConstraint
 from repro.sim import (
     SimulationConfig,
@@ -81,7 +87,10 @@ __all__ = [
     "PoissonArrivals",
     "PolynomialBackoff",
     "PotentialTracker",
+    "ProcessPoolBackend",
     "QueueingConstraint",
+    "ResultCacheBackend",
+    "SerialBackend",
     "ReactiveSuccessJammer",
     "ReactiveTargetedJammer",
     "SawtoothBackoff",
@@ -92,6 +101,7 @@ __all__ = [
     "TraceArrivals",
     "available_protocols",
     "get_protocol",
+    "make_backend",
     "replicate",
     "run_simulation",
     "__version__",

@@ -77,6 +77,15 @@ class Adversary(abc.ABC):
     #: Whether the adversary reads ``SystemView.sending_probabilities``.
     needs_probabilities: bool = False
 
+    #: Whether the adversary is *oblivious*: its decisions depend only on
+    #: the slot index and its own private coins/state, never on the system
+    #: state (active packets, windows, contention, counters of past
+    #: outcomes).  The engine uses this to take a fast path that skips the
+    #: per-slot :class:`SystemView` snapshot entirely; an adversary that
+    #: declares itself oblivious but then reads per-packet view fields
+    #: fails loudly rather than observing stale data.
+    oblivious: bool = False
+
     @abc.abstractmethod
     def arrivals(self, view: SystemView, rng: Random) -> int:
         """Number of packets to inject at the start of ``view.slot``."""

@@ -36,6 +36,11 @@ class Jammer(abc.ABC):
     #: state-aware strategies); lets the engine skip computing it otherwise.
     needs_contention: bool = False
 
+    #: Whether the strategy is oblivious (decisions depend only on the slot
+    #: index and private coins, never on system state).  Enables the engine
+    #: fast path; defaults to False so subclasses must opt in.
+    oblivious: bool = False
+
     @abc.abstractmethod
     def jam(self, view: SystemView, rng: Random) -> bool:
         """Adaptive (pre-slot) jamming decision."""
@@ -84,6 +89,8 @@ class _BudgetedJammer(Jammer):
 class NoJamming(Jammer):
     """Never jams."""
 
+    oblivious = True
+
     def jam(self, view: SystemView, rng: Random) -> bool:
         return False
 
@@ -108,6 +115,9 @@ class BernoulliJamming(_BudgetedJammer):
             raise ValueError("probability must be in [0, 1]")
         self.probability = probability
         self.only_active = only_active
+        # Restricting jams to active slots means observing the system state,
+        # so only the unrestricted variant is oblivious.
+        self.oblivious = not only_active
 
     def jam(self, view: SystemView, rng: Random) -> bool:
         if self.only_active and not view.active_packets:
@@ -119,6 +129,8 @@ class BernoulliJamming(_BudgetedJammer):
 
 class PeriodicJamming(_BudgetedJammer):
     """Jam every ``period``-th slot starting at ``offset``."""
+
+    oblivious = True
 
     def __init__(self, period: int, offset: int = 0, budget: int | None = None) -> None:
         super().__init__(budget)
@@ -142,6 +154,8 @@ class BurstJamming(_BudgetedJammer):
     jamming is the canonical "denial window" attack and the workload used to
     show that LOW-SENSING BACKOFF recovers after sustained noise.
     """
+
+    oblivious = True
 
     def __init__(
         self,
@@ -181,6 +195,8 @@ class BudgetedRandomJamming(_BudgetedJammer):
     ``budget / horizon`` until the budget is exhausted, which spreads ``~J``
     jams roughly uniformly without requiring a pre-committed schedule.
     """
+
+    oblivious = True
 
     def __init__(self, budget: int, horizon: int) -> None:
         super().__init__(budget)

@@ -1,0 +1,168 @@
+"""The ``python -m repro`` command line.
+
+Two subcommands:
+
+``list``
+    Print the experiment table (id, title, bench target).
+
+``run``
+    Run experiments by id on a chosen execution backend and print their
+    rendered reports::
+
+        python -m repro run e3 --scale full --backend processes --workers 8 --out results/
+
+    With ``--out``, each experiment also writes a JSON report
+    (``<out>/<id>.json``) containing the rows, verdicts, backend description
+    and wall-clock time, so sweeps can be archived and diffed.
+
+Experiment ids are case-insensitive (``e3`` and ``E3`` both work).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from typing import Iterable
+
+from repro.exec import BACKEND_NAMES, make_backend
+from repro.experiments.experiments import ALL_EXPERIMENTS
+from repro.experiments.reporting import render_report, report_to_dict
+from repro.experiments.spec import SCALES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper-claim experiments (E1-E9, A1).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiments by id")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="ID",
+        help="experiment ids to run (e.g. e1 e3; case-insensitive)",
+    )
+    run_parser.add_argument("--scale", default="default", choices=SCALES)
+    run_parser.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated replicate seeds (default: the scale's seed list)",
+    )
+    run_parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=BACKEND_NAMES,
+        help="execution backend for the sweep's replicates",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --backend processes (default: cpu count)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk result cache (off when omitted)",
+    )
+    run_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write one JSON report per experiment into DIR",
+    )
+    return parser
+
+
+def _normalise_ids(raw_ids: Iterable[str], parser: argparse.ArgumentParser) -> list[str]:
+    ids = []
+    for raw in raw_ids:
+        exp_id = raw.upper()
+        if exp_id not in ALL_EXPERIMENTS:
+            parser.error(
+                f"unknown experiment id {raw!r}; choose from "
+                f"{', '.join(sorted(ALL_EXPERIMENTS))}"
+            )
+        ids.append(exp_id)
+    return ids
+
+
+def _parse_seeds(raw: str | None, parser: argparse.ArgumentParser) -> list[int] | None:
+    if raw is None:
+        return None
+    try:
+        seeds = [int(token) for token in raw.split(",") if token.strip()]
+    except ValueError:
+        parser.error(f"--seeds must be comma-separated integers, got {raw!r}")
+    if not seeds:
+        parser.error("--seeds must name at least one seed")
+    return seeds
+
+
+def _command_list() -> int:
+    from repro.experiments import experiments as exp_module
+
+    width = max(len(exp_id) for exp_id in ALL_EXPERIMENTS)
+    for exp_id in sorted(ALL_EXPERIMENTS):
+        spec = getattr(exp_module, f"{exp_id}_SPEC")
+        print(f"{exp_id:<{width}}  {spec.title}  [{spec.bench_target}]")
+    return 0
+
+
+def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    ids = _normalise_ids(args.experiments, parser)
+    seeds = _parse_seeds(args.seeds, parser)
+    if args.workers is not None and args.backend != "processes":
+        parser.error("--workers only applies to --backend processes")
+    try:
+        backend = make_backend(
+            args.backend, workers=args.workers, cache_dir=args.cache_dir
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for exp_id in ids:
+        started = time.perf_counter()
+        report = ALL_EXPERIMENTS[exp_id](
+            scale=args.scale, seeds=seeds, backend=backend
+        )
+        elapsed = time.perf_counter() - started
+        print(render_report(report))
+        print(f"\n[{exp_id}] {elapsed:.2f}s on backend {backend.describe()}\n")
+        if out_dir is not None:
+            from repro.experiments.experiments import _seeds
+
+            payload = report_to_dict(report)
+            payload["scale"] = args.scale
+            # Record the seeds actually used, including the scale's default
+            # seed list, so archived reports are self-describing.
+            payload["seeds"] = list(_seeds(args.scale, seeds))
+            payload["backend"] = backend.describe()
+            payload["elapsed_seconds"] = round(elapsed, 4)
+            path = out_dir / f"{exp_id.lower()}.json"
+            path.write_text(
+                json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                encoding="utf-8",
+            )
+            print(f"[{exp_id}] wrote {path}")
+    return 0
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "list":
+        return _command_list()
+    return _command_run(args, parser)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

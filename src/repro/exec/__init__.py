@@ -1,0 +1,65 @@
+"""Pluggable execution backends for running batches of simulations.
+
+The experiment layer describes *what* to run (a sequence of jobs, each of
+which can build a :class:`~repro.sim.config.SimulationConfig`); this package
+decides *how* to run it:
+
+* :class:`~repro.exec.backends.SerialBackend` — in-process, one job at a
+  time (the reference implementation every other backend must match
+  bit-for-bit);
+* :class:`~repro.exec.backends.ProcessPoolBackend` — a multiprocessing pool
+  over jobs with deterministic result ordering, for multi-core sweeps;
+* :class:`~repro.exec.cache.ResultCacheBackend` — a wrapper that memoises
+  results on disk, keyed by a stable hash of the job specification.
+
+Replicates of an experiment sweep are independent executions (separate
+seeds, separate adversaries), so they are embarrassingly parallel; backends
+exploit exactly that and nothing else, which is why every backend is
+required to return results in job order and to produce results identical to
+the serial backend.
+"""
+
+from repro.exec.backends import (
+    ConfigJob,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    execute_job,
+)
+from repro.exec.cache import ResultCacheBackend
+
+BACKEND_NAMES = ("serial", "processes")
+
+
+def make_backend(
+    name: str = "serial",
+    *,
+    workers: int | None = None,
+    cache_dir: str | None = None,
+) -> ExecutionBackend:
+    """Build a backend from CLI-style options.
+
+    ``name`` selects the execution strategy; ``cache_dir``, when given,
+    wraps the chosen backend in a :class:`ResultCacheBackend`.
+    """
+    if name == "serial":
+        backend: ExecutionBackend = SerialBackend()
+    elif name == "processes":
+        backend = ProcessPoolBackend(workers=workers)
+    else:
+        raise ValueError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")
+    if cache_dir is not None:
+        backend = ResultCacheBackend(cache_dir, inner=backend)
+    return backend
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ConfigJob",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "ResultCacheBackend",
+    "SerialBackend",
+    "execute_job",
+    "make_backend",
+]

@@ -1,0 +1,152 @@
+"""Execution backends: serial and process-pool job runners.
+
+A *job* is any object exposing ``build_config() -> SimulationConfig``.  The
+two concrete job types are :class:`ConfigJob` (wraps an already-built
+configuration; used by the thin ``replicate``/``SweepRunner`` wrappers) and
+:class:`~repro.experiments.plan.RunSpec` (fully declarative and picklable;
+used by the sweep layer and required for process pools and caching).
+
+Every backend honours the same contract:
+
+* results are returned in job order, regardless of completion order;
+* each job builds its configuration (and therefore its adversary) freshly,
+  so no mutable state leaks between replicates;
+* the results are identical to what :class:`SerialBackend` produces for the
+  same jobs — parallelism must never change the science.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import pickle
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Any, Protocol, Sequence
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.sim.results import SimulationResult
+
+
+class RunJob(Protocol):
+    """Anything that can build a simulation configuration on demand."""
+
+    def build_config(self) -> SimulationConfig: ...
+
+
+@dataclass(frozen=True)
+class ConfigJob:
+    """A job wrapping an already-built configuration.
+
+    The configuration's adversary is constructed by the caller, so a
+    ``ConfigJob`` must be run exactly once — its adversary carries mutable
+    state.  Declarative callers should prefer
+    :class:`~repro.experiments.plan.RunSpec`, which builds a fresh adversary
+    per execution and has a stable cache key.
+    """
+
+    config: SimulationConfig
+
+    def build_config(self) -> SimulationConfig:
+        return self.config
+
+
+def execute_job(job: RunJob) -> SimulationResult:
+    """Run one job to completion.
+
+    Module-level (rather than a backend method) so process pools can pickle
+    it by reference and ship only the job to the worker.
+    """
+    return Simulator(job.build_config()).run()
+
+
+class ExecutionBackend(abc.ABC):
+    """Runs a batch of independent simulation jobs."""
+
+    #: Short machine-readable backend name (used by the CLI and reports).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, jobs: Sequence[RunJob]) -> list[SimulationResult]:
+        """Execute every job and return their results in job order."""
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-friendly snapshot of the backend configuration."""
+        return {"backend": self.name}
+
+
+class SerialBackend(ExecutionBackend):
+    """One job at a time, in-process.  The reference backend."""
+
+    name = "serial"
+
+    def run(self, jobs: Sequence[RunJob]) -> list[SimulationResult]:
+        return [execute_job(job) for job in jobs]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Runs jobs across a multiprocessing pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    chunksize:
+        Jobs handed to a worker per task.  The default of 1 gives the best
+        load balance, which matters because replicate runtimes vary widely
+        (a drained batch run ends early, a jammed one does not).
+    start_method:
+        ``multiprocessing`` start method (``None`` uses the platform
+        default).  All methods require jobs and results to be picklable.
+    """
+
+    name = "processes"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunksize: int = 1,
+        start_method: str | None = None,
+    ) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        if chunksize <= 0:
+            raise ValueError("chunksize must be positive")
+        self.workers = workers or os.cpu_count() or 1
+        self.chunksize = chunksize
+        self.start_method = start_method
+
+    def run(self, jobs: Sequence[RunJob]) -> list[SimulationResult]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        # Always execute through the pool (even for one job or one worker),
+        # so result metadata reporting this backend is never describing a
+        # silent serial fallback.
+        self._check_picklable(jobs)
+        context = get_context(self.start_method)
+        with context.Pool(processes=min(self.workers, len(jobs))) as pool:
+            # Pool.map preserves input order, which is what makes the
+            # backend deterministic regardless of completion order.
+            return pool.map(execute_job, jobs, chunksize=self.chunksize)
+
+    @staticmethod
+    def _check_picklable(jobs: Sequence[RunJob]) -> None:
+        try:
+            pickle.dumps(list(jobs))
+        except Exception as exc:
+            raise TypeError(
+                "ProcessPoolBackend requires picklable jobs; closures and "
+                "lambdas cannot cross process boundaries — express the sweep "
+                "declaratively with repro.experiments.plan.RunSpec/factory, "
+                "or use SerialBackend"
+            ) from exc
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "backend": self.name,
+            "workers": self.workers,
+            "chunksize": self.chunksize,
+            "start_method": self.start_method,
+        }

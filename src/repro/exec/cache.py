@@ -1,0 +1,105 @@
+"""On-disk memoisation of simulation results.
+
+Simulations are deterministic functions of their specification, so a result
+can be reused whenever the exact same specification is run again — which
+happens constantly while iterating on experiment post-processing, report
+rendering, or verdict thresholds.  :class:`ResultCacheBackend` wraps any
+execution backend and short-circuits jobs whose results are already stored.
+
+Only jobs that expose a stable ``cache_key()`` (notably
+:class:`~repro.experiments.plan.RunSpec`) participate; jobs without one, or
+whose key is ``None``, are always delegated to the inner backend and never
+stored, because there is no safe identity to file them under.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.exec.backends import ExecutionBackend, RunJob, SerialBackend
+from repro.sim.results import SimulationResult
+
+
+class ResultCacheBackend(ExecutionBackend):
+    """Caches results of an inner backend under ``cache_dir``.
+
+    Each result is pickled to ``<cache_dir>/<cache_key>.pkl``.  Writes are
+    atomic (write to a temporary file, then rename) so a crashed or
+    interrupted sweep never leaves a truncated entry behind.
+    """
+
+    name = "cached"
+
+    def __init__(
+        self, cache_dir: str | os.PathLike[str], inner: ExecutionBackend | None = None
+    ) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.inner = inner or SerialBackend()
+        self.hits = 0
+        self.misses = 0
+
+    def run(self, jobs: Sequence[RunJob]) -> list[SimulationResult]:
+        jobs = list(jobs)
+        results: list[SimulationResult | None] = [None] * len(jobs)
+        keys: list[str | None] = []
+        missing: list[int] = []
+        for index, job in enumerate(jobs):
+            key = self._key_of(job)
+            keys.append(key)
+            cached = self._load(key) if key is not None else None
+            if cached is not None:
+                self.hits += 1
+                results[index] = cached
+            else:
+                self.misses += 1
+                missing.append(index)
+        if missing:
+            fresh = self.inner.run([jobs[index] for index in missing])
+            for index, result in zip(missing, fresh):
+                results[index] = result
+                if keys[index] is not None:
+                    self._store(keys[index], result)
+        return results  # type: ignore[return-value]
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "backend": self.name,
+            "cache_dir": str(self.cache_dir),
+            "inner": self.inner.describe(),
+        }
+
+    # -- Internals -------------------------------------------------------------
+
+    @staticmethod
+    def _key_of(job: RunJob) -> str | None:
+        key_method = getattr(job, "cache_key", None)
+        if not callable(key_method):
+            return None
+        return key_method()
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def _load(self, key: str) -> SimulationResult | None:
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # A stale, corrupt, or unreadable entry is a miss, not an error:
+            # unpickling arbitrary bytes (or results written by an older
+            # code version whose classes moved) can raise nearly anything.
+            return None
+
+    def _store(self, key: str, result: SimulationResult) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        with temporary.open("wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        temporary.replace(path)

@@ -21,7 +21,15 @@ from repro.experiments.experiments import (
     run_e8_energy_throughput_tradeoff,
     run_e9_potential_drift,
 )
-from repro.experiments.reporting import render_report
+from repro.experiments.plan import (
+    Factory,
+    PlanResults,
+    RunSpec,
+    SweepPlan,
+    aggregate_replicate_row,
+    factory,
+)
+from repro.experiments.reporting import render_report, report_to_dict
 from repro.experiments.runner import SweepRunner
 from repro.experiments.spec import ExperimentReport, ExperimentSpec
 
@@ -29,8 +37,15 @@ __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentReport",
     "ExperimentSpec",
+    "Factory",
+    "PlanResults",
+    "RunSpec",
+    "SweepPlan",
     "SweepRunner",
+    "aggregate_replicate_row",
+    "factory",
     "render_report",
+    "report_to_dict",
     "run_a1_ablation",
     "run_e1_throughput_batch",
     "run_e2_implicit_throughput",

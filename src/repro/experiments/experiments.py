@@ -1,16 +1,24 @@
 """Definitions of the paper-claim experiments E1–E9 and the ablation A1.
 
 Every experiment function takes a ``scale`` ("smoke" for tests, "default"
-for the benchmark suite, "full" for slower high-precision runs) and a seed
-list, runs its sweep, and returns an
-:class:`~repro.experiments.spec.ExperimentReport` whose rows are the table
-recorded in EXPERIMENTS.md.  The functions only *measure*; the pass/fail
-reasoning lives in the verdict strings and in the test-suite's assertions.
+for the benchmark suite, "full" for slower high-precision runs), a seed
+list, and an optional execution ``backend`` (see :mod:`repro.exec`), and
+returns an :class:`~repro.experiments.spec.ExperimentReport` whose rows are
+the table recorded in EXPERIMENTS.md.  The functions only *measure*; the
+pass/fail reasoning lives in the verdict strings and in the test-suite's
+assertions.
+
+Each experiment is expressed declaratively: it first lays out its whole
+protocol × adversary × seed grid as a :class:`~repro.experiments.plan.SweepPlan`
+(adversaries as picklable :func:`~repro.experiments.plan.factory` calls, not
+closures), then executes the plan on the chosen backend, then post-processes
+the aligned results into rows and verdicts.  The same plan therefore runs
+serially, across a process pool, or against a result cache — with identical
+tables.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Sequence
 
 from repro.adversary.arrivals import (
@@ -31,15 +39,14 @@ from repro.adversary.jamming import (
 from repro.analysis.fitting import fit_linear, fit_log_power, fit_power_law
 from repro.core.low_sensing import DecoupledLowSensingBackoff, LowSensingBackoff
 from repro.core.parameters import LowSensingParameters
-from repro.experiments.runner import SweepRunner
+from repro.exec.backends import ExecutionBackend
+from repro.experiments.plan import Factory, SweepPlan, factory
 from repro.experiments.spec import ExperimentReport, ExperimentSpec, check_scale
 from repro.protocols.binary_exponential import BinaryExponentialBackoff
 from repro.protocols.fixed_probability import FixedProbabilityProtocol
 from repro.protocols.mw_full_sensing import FullSensingMultiplicativeWeights
 from repro.protocols.polynomial_backoff import PolynomialBackoff
 from repro.protocols.sawtooth import SawtoothBackoff
-from repro.sim.config import SimulationConfig
-from repro.sim.engine import Simulator
 
 DEFAULT_SEEDS = (11, 23, 47)
 SMOKE_SEEDS = (11,)
@@ -59,6 +66,25 @@ def _batch_sizes(scale: str) -> list[int]:
     return [100, 200, 400, 800, 1600]
 
 
+def _batch_adversary(n: int) -> Factory:
+    return factory(CompositeAdversary, factory(BatchArrivals, n))
+
+
+def _queueing_adversary(
+    rate: float, granularity: int, placement: str, horizon: int
+) -> Factory:
+    return factory(
+        CompositeAdversary,
+        factory(
+            AdversarialQueueingArrivals,
+            rate=rate,
+            granularity=granularity,
+            placement=placement,
+            horizon=horizon,
+        ),
+    )
+
+
 # ---------------------------------------------------------------------------
 # E1 — Overall throughput on finite (batch) streams.
 # ---------------------------------------------------------------------------
@@ -76,11 +102,13 @@ E1_SPEC = ExperimentSpec(
 
 
 def run_e1_throughput_batch(
-    scale: str = "default", seeds: Sequence[int] | None = None
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
     """Sweep batch size N for every protocol and record overall throughput."""
     scale = check_scale(scale)
-    runner = SweepRunner(_seeds(scale, seeds))
+    seeds = _seeds(scale, seeds)
     report = ExperimentReport(spec=E1_SPEC)
     sizes = _batch_sizes(scale)
     protocols: list = [
@@ -90,14 +118,14 @@ def run_e1_throughput_batch(
         BinaryExponentialBackoff(),
         PolynomialBackoff(),
     ]
+    plan = SweepPlan()
     for n in sizes:
         for protocol in protocols + [FixedProbabilityProtocol.tuned_for(n)]:
-            row = runner.aggregate_row(
-                protocol,
-                lambda n=n: CompositeAdversary(BatchArrivals(n)),
-                extra_columns={"n": n},
+            plan.add_group(
+                protocol, _batch_adversary(n), seeds, columns={"n": n}
             )
-            report.add_row(row)
+    for row in plan.run(backend).group_rows():
+        report.add_row(row)
     # Verdict: is low-sensing throughput flat while BEB's declines?
     lsb = [r for r in report.rows if r["protocol"] == "low-sensing"]
     beb = [r for r in report.rows if r["protocol"] == "binary-exponential"]
@@ -127,11 +155,13 @@ E2_SPEC = ExperimentSpec(
 
 
 def run_e2_implicit_throughput(
-    scale: str = "default", seeds: Sequence[int] | None = None
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
     """Long queueing runs; record the minimum implicit throughput over time."""
     scale = check_scale(scale)
-    runner = SweepRunner(_seeds(scale, seeds))
+    seeds = _seeds(scale, seeds)
     report = ExperimentReport(spec=E2_SPEC)
     horizon = {"smoke": 2_000, "default": 15_000, "full": 60_000}[scale]
     configs = [
@@ -142,22 +172,20 @@ def run_e2_implicit_throughput(
     ]
     if scale == "smoke":
         configs = configs[:2]
+    plan = SweepPlan()
     for rate, granularity, placement in configs:
-        for seed in runner.seeds:
-            arrivals = AdversarialQueueingArrivals(
-                rate=rate,
-                granularity=granularity,
-                placement=placement,
-                horizon=horizon,
-            )
-            config = SimulationConfig(
-                protocol=LowSensingBackoff(),
-                adversary=CompositeAdversary(arrivals),
-                seed=seed,
-                max_slots=horizon * 4,
-                stop_when_drained=True,
-            )
-            result = Simulator(config).run()
+        plan.add_group(
+            LowSensingBackoff(),
+            _queueing_adversary(rate, granularity, placement, horizon),
+            seeds,
+            columns={"rate": rate, "granularity": granularity, "placement": placement},
+            max_slots=horizon * 4,
+        )
+    results = plan.run(backend)
+    for group in plan.groups:
+        columns = dict(group.columns)
+        granularity = columns["granularity"]
+        for seed, result in results.seeded_group(group.group_id):
             series = result.implicit_throughput_series()
             # Ignore the warm-up prefix: implicit throughput is trivially high
             # before the first burst has been processed.
@@ -166,9 +194,7 @@ def run_e2_implicit_throughput(
             report.add_row(
                 {
                     "protocol": "low-sensing",
-                    "rate": rate,
-                    "granularity": granularity,
-                    "placement": placement,
+                    **columns,
                     "seed": seed,
                     "horizon": horizon,
                     "arrivals": result.num_arrivals,
@@ -199,33 +225,31 @@ E3_SPEC = ExperimentSpec(
 
 
 def run_e3_backlog(
-    scale: str = "default", seeds: Sequence[int] | None = None
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
     """Sweep the granularity S and record max backlog relative to S."""
     scale = check_scale(scale)
-    runner = SweepRunner(_seeds(scale, seeds))
+    seeds = _seeds(scale, seeds)
     report = ExperimentReport(spec=E3_SPEC)
     granularities = {"smoke": [100], "default": [100, 200, 400], "full": [100, 200, 400, 800]}[
         scale
     ]
     windows = {"smoke": 10, "default": 30, "full": 60}[scale]
     rate = 0.2
+    plan = SweepPlan()
     for granularity in granularities:
         horizon = granularity * windows
-        row = runner.aggregate_row(
+        plan.add_group(
             LowSensingBackoff(),
-            lambda granularity=granularity, horizon=horizon: CompositeAdversary(
-                AdversarialQueueingArrivals(
-                    rate=rate,
-                    granularity=granularity,
-                    placement="front",
-                    horizon=horizon,
-                )
-            ),
-            extra_columns={"granularity": granularity, "rate": rate, "horizon": horizon},
+            _queueing_adversary(rate, granularity, "front", horizon),
+            seeds,
+            columns={"granularity": granularity, "rate": rate, "horizon": horizon},
             max_slots=horizon * 4,
         )
-        row["max_backlog_over_s"] = row["max_backlog"] / granularity
+    for row in plan.run(backend).group_rows():
+        row["max_backlog_over_s"] = row["max_backlog"] / row["granularity"]
         report.add_row(row)
     ratios = report.column("max_backlog_over_s")
     report.verdicts["largest_backlog_over_s"] = f"{max(ratios):.3f}"
@@ -251,33 +275,34 @@ E4_SPEC = ExperimentSpec(
 
 
 def run_e4_energy_finite(
-    scale: str = "default", seeds: Sequence[int] | None = None
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
     """Sweep N (and a jamming budget proportional to N); fit access scaling."""
     scale = check_scale(scale)
-    runner = SweepRunner(_seeds(scale, seeds))
+    seeds = _seeds(scale, seeds)
     report = ExperimentReport(spec=E4_SPEC)
     sizes = _batch_sizes(scale)
     jam_fractions = [0.0, 0.5] if scale != "smoke" else [0.0]
+    plan = SweepPlan()
     for n in sizes:
         for jam_fraction in jam_fractions:
             budget = int(n * jam_fraction)
-
-            def adversary_factory(n: int = n, budget: int = budget) -> CompositeAdversary:
-                jammer = (
-                    BudgetedRandomJamming(budget=budget, horizon=8 * n)
-                    if budget
-                    else NoJamming()
-                )
-                return CompositeAdversary(BatchArrivals(n), jammer)
-
-            row = runner.aggregate_row(
-                LowSensingBackoff(),
-                adversary_factory,
-                extra_columns={"n": n, "jam_budget": budget},
+            jammer = (
+                factory(BudgetedRandomJamming, budget=budget, horizon=8 * n)
+                if budget
+                else factory(NoJamming)
             )
-            row["n_plus_j"] = n + budget
-            report.add_row(row)
+            plan.add_group(
+                LowSensingBackoff(),
+                factory(CompositeAdversary, factory(BatchArrivals, n), jammer),
+                seeds,
+                columns={"n": n, "jam_budget": budget},
+            )
+    for row in plan.run(backend).group_rows():
+        row["n_plus_j"] = row["n"] + row["jam_budget"]
+        report.add_row(row)
     unjammed = report.rows_where(jam_budget=0)
     xs = [row["n"] for row in unjammed]
     ys = [row["mean_accesses"] for row in unjammed]
@@ -310,32 +335,30 @@ E5_SPEC = ExperimentSpec(
 
 
 def run_e5_energy_queueing(
-    scale: str = "default", seeds: Sequence[int] | None = None
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
     """Sweep granularity S; record per-packet access statistics."""
     scale = check_scale(scale)
-    runner = SweepRunner(_seeds(scale, seeds))
+    seeds = _seeds(scale, seeds)
     report = ExperimentReport(spec=E5_SPEC)
     granularities = {"smoke": [100], "default": [100, 200, 400, 800], "full": [100, 200, 400, 800, 1600]}[
         scale
     ]
     windows = {"smoke": 10, "default": 25, "full": 50}[scale]
     rate = 0.2
+    plan = SweepPlan()
     for granularity in granularities:
         horizon = granularity * windows
-        row = runner.aggregate_row(
+        plan.add_group(
             LowSensingBackoff(),
-            lambda granularity=granularity, horizon=horizon: CompositeAdversary(
-                AdversarialQueueingArrivals(
-                    rate=rate,
-                    granularity=granularity,
-                    placement="front",
-                    horizon=horizon,
-                )
-            ),
-            extra_columns={"granularity": granularity, "rate": rate, "horizon": horizon},
+            _queueing_adversary(rate, granularity, "front", horizon),
+            seeds,
+            columns={"granularity": granularity, "rate": rate, "horizon": horizon},
             max_slots=horizon * 4,
         )
+    for row in plan.run(backend).group_rows():
         report.add_row(row)
     xs = report.column("granularity")
     ys = report.column("mean_accesses")
@@ -365,7 +388,9 @@ E6_SPEC = ExperimentSpec(
 
 
 def run_e6_reactive(
-    scale: str = "default", seeds: Sequence[int] | None = None
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
     """Sweep the reactive jamming budget aimed at one victim packet."""
     scale = check_scale(scale)
@@ -373,25 +398,29 @@ def run_e6_reactive(
     report = ExperimentReport(spec=E6_SPEC)
     n = 100 if scale == "smoke" else 200
     budgets = [0, 25, 100, 400] if scale != "smoke" else [0, 25]
+    plan = SweepPlan()
     for budget in budgets:
-        for seed in seeds:
-            adversary = CompositeAdversary(
-                BatchArrivals(n), ReactiveTargetedJammer(budget=budget, target_index=0)
-            )
-            config = SimulationConfig(
-                protocol=LowSensingBackoff(),
-                adversary=adversary,
-                seed=seed,
-                max_slots=500_000,
-            )
-            result = Simulator(config).run()
+        plan.add_group(
+            LowSensingBackoff(),
+            factory(
+                CompositeAdversary,
+                factory(BatchArrivals, n),
+                factory(ReactiveTargetedJammer, budget=budget, target_index=0),
+            ),
+            seeds,
+            columns={"n": n, "jam_budget": budget},
+            max_slots=500_000,
+        )
+    results = plan.run(backend)
+    for group in plan.groups:
+        columns = dict(group.columns)
+        for seed, result in results.seeded_group(group.group_id):
             energy = result.energy_statistics()
             victim = next(p for p in result.packets if p.packet_id == 0)
             report.add_row(
                 {
                     "protocol": "low-sensing",
-                    "n": n,
-                    "jam_budget": budget,
+                    **columns,
                     "seed": seed,
                     "victim_accesses": victim.channel_accesses,
                     "mean_accesses": energy.mean_accesses,
@@ -430,38 +459,41 @@ E7_SPEC = ExperimentSpec(
 
 
 def run_e7_jamming_throughput(
-    scale: str = "default", seeds: Sequence[int] | None = None
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
     """Batch workload under several jamming strategies and protocols."""
     scale = check_scale(scale)
-    runner = SweepRunner(_seeds(scale, seeds))
+    seeds = _seeds(scale, seeds)
     report = ExperimentReport(spec=E7_SPEC)
     n = 100 if scale == "smoke" else 300
-    jammer_factories: list[tuple[str, Callable[[], object]]] = [
-        ("none", lambda: NoJamming()),
-        ("bernoulli-20%", lambda: BernoulliJamming(probability=0.2, budget=n)),
-        ("burst", lambda: BurstJamming(start=20, length=n // 2)),
+    jammers: list[tuple[str, Factory]] = [
+        ("none", factory(NoJamming)),
+        ("bernoulli-20%", factory(BernoulliJamming, probability=0.2, budget=n)),
+        ("burst", factory(BurstJamming, start=20, length=n // 2)),
         (
             "adaptive-good-contention",
-            lambda: AdaptiveContentionJammer(budget=n, target_regime="good"),
+            factory(AdaptiveContentionJammer, budget=n, target_regime="good"),
         ),
-        ("reactive-success", lambda: ReactiveSuccessJammer(budget=n // 2)),
+        ("reactive-success", factory(ReactiveSuccessJammer, budget=n // 2)),
     ]
     if scale == "smoke":
-        jammer_factories = jammer_factories[:3]
+        jammers = jammers[:3]
     protocols = [LowSensingBackoff(), FullSensingMultiplicativeWeights(), BinaryExponentialBackoff()]
     if scale == "smoke":
         protocols = protocols[:1]
-    for jammer_name, jammer_factory in jammer_factories:
+    plan = SweepPlan()
+    for jammer_name, jammer in jammers:
         for protocol in protocols:
-            row = runner.aggregate_row(
+            plan.add_group(
                 protocol,
-                lambda jammer_factory=jammer_factory: CompositeAdversary(
-                    BatchArrivals(n), jammer_factory()
-                ),
-                extra_columns={"n": n, "jammer": jammer_name},
+                factory(CompositeAdversary, factory(BatchArrivals, n), jammer),
+                seeds,
+                columns={"n": n, "jammer": jammer_name},
             )
-            report.add_row(row)
+    for row in plan.run(backend).group_rows():
+        report.add_row(row)
     lsb_rows = [r for r in report.rows if r["protocol"] == "low-sensing"]
     report.verdicts["low_sensing_min_throughput_over_jammers"] = (
         f"{min(r['throughput'] for r in lsb_rows):.3f}"
@@ -487,11 +519,13 @@ E8_SPEC = ExperimentSpec(
 
 
 def run_e8_energy_throughput_tradeoff(
-    scale: str = "default", seeds: Sequence[int] | None = None
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
     """Record the (throughput, accesses/packet) pair for every protocol."""
     scale = check_scale(scale)
-    runner = SweepRunner(_seeds(scale, seeds))
+    seeds = _seeds(scale, seeds)
     report = ExperimentReport(spec=E8_SPEC)
     sizes = [100] if scale == "smoke" else [200, 400]
     protocols = [
@@ -501,14 +535,14 @@ def run_e8_energy_throughput_tradeoff(
         BinaryExponentialBackoff(),
         PolynomialBackoff(),
     ]
+    plan = SweepPlan()
     for n in sizes:
         for protocol in protocols:
-            row = runner.aggregate_row(
-                protocol,
-                lambda n=n: CompositeAdversary(BatchArrivals(n)),
-                extra_columns={"n": n},
+            plan.add_group(
+                protocol, _batch_adversary(n), seeds, columns={"n": n}
             )
-            report.add_row(row)
+    for row in plan.run(backend).group_rows():
+        report.add_row(row)
     for n in sizes:
         rows = report.rows_where(n=n)
         lsb = next(r for r in rows if r["protocol"] == "low-sensing")
@@ -540,33 +574,45 @@ E9_SPEC = ExperimentSpec(
 
 
 def run_e9_potential_drift(
-    scale: str = "default", seeds: Sequence[int] | None = None
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
     """Track Φ(t) on batch and bursty workloads; report drift statistics."""
     scale = check_scale(scale)
     seeds = _seeds(scale, seeds)
     report = ExperimentReport(spec=E9_SPEC)
     n = 100 if scale == "smoke" else 400
-    workloads = [
-        ("batch", lambda: CompositeAdversary(BatchArrivals(n))),
+    workloads: list[tuple[str, Factory]] = [
+        ("batch", _batch_adversary(n)),
         (
             "bursty",
-            lambda: CompositeAdversary(
-                PeriodicBurstArrivals(burst_size=n // 10, period=50, num_bursts=10),
-                BernoulliJamming(probability=0.05, budget=n // 4),
+            factory(
+                CompositeAdversary,
+                factory(
+                    PeriodicBurstArrivals,
+                    burst_size=n // 10,
+                    period=50,
+                    num_bursts=10,
+                ),
+                factory(BernoulliJamming, probability=0.05, budget=n // 4),
             ),
         ),
     ]
-    for workload_name, adversary_factory in workloads:
-        for seed in seeds:
-            config = SimulationConfig(
-                protocol=LowSensingBackoff(),
-                adversary=adversary_factory(),
-                seed=seed,
-                max_slots=500_000,
-                collect_potential=True,
-            )
-            result = Simulator(config).run()
+    plan = SweepPlan()
+    for workload_name, adversary in workloads:
+        plan.add_group(
+            LowSensingBackoff(),
+            adversary,
+            seeds,
+            columns={"workload": workload_name},
+            max_slots=500_000,
+            collect_potential=True,
+        )
+    results = plan.run(backend)
+    for group in plan.groups:
+        columns = dict(group.columns)
+        for seed, result in results.seeded_group(group.group_id):
             tracker = result.potential
             assert tracker is not None
             drifts = tracker.interval_drifts()
@@ -575,7 +621,7 @@ def run_e9_potential_drift(
             report.add_row(
                 {
                     "protocol": "low-sensing",
-                    "workload": workload_name,
+                    **columns,
                     "seed": seed,
                     "n_plus_j": jam_plus_arrivals,
                     "num_intervals": len(drifts),
@@ -614,11 +660,13 @@ A1_SPEC = ExperimentSpec(
 
 
 def run_a1_ablation(
-    scale: str = "default", seeds: Sequence[int] | None = None
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
     """Compare LOW-SENSING variants (constants, decoupled coins) on a batch."""
     scale = check_scale(scale)
-    runner = SweepRunner(_seeds(scale, seeds))
+    seeds = _seeds(scale, seeds)
     report = ExperimentReport(spec=A1_SPEC)
     n = 100 if scale == "smoke" else 300
     variants: list[tuple[str, object]] = [
@@ -635,12 +683,15 @@ def run_a1_ablation(
     ]
     if scale == "smoke":
         variants = variants[:2]
+    plan = SweepPlan()
     for label, protocol in variants:
-        row = runner.aggregate_row(
+        plan.add_group(
             protocol,
-            lambda: CompositeAdversary(BatchArrivals(n)),
-            extra_columns={"variant": label, "n": n},
+            _batch_adversary(n),
+            seeds,
+            columns={"variant": label, "n": n},
         )
+    for row in plan.run(backend).group_rows():
         report.add_row(row)
     throughputs = {row["variant"]: row["throughput"] for row in report.rows}
     report.verdicts["throughput_spread"] = (
@@ -649,7 +700,7 @@ def run_a1_ablation(
     return report
 
 
-#: Registry used by the benchmark suite and the reporting CLI.
+#: Registry used by the benchmark suite, the CLI, and the reporting module.
 ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "E1": run_e1_throughput_batch,
     "E2": run_e2_implicit_throughput,

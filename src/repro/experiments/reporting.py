@@ -56,6 +56,19 @@ def _ordered_columns(report: ExperimentReport) -> list[str]:
     return ordered
 
 
+def report_to_dict(report: ExperimentReport) -> dict:
+    """A JSON-serialisable representation of a report (used by the CLI)."""
+    return {
+        "experiment": report.spec.exp_id,
+        "title": report.spec.title,
+        "claim": report.spec.claim,
+        "bench_target": report.spec.bench_target,
+        "rows": [dict(row) for row in report.rows],
+        "verdicts": dict(report.verdicts),
+        "notes": list(report.notes),
+    }
+
+
 def render_report(report: ExperimentReport, precision: int = 4) -> str:
     """Render an experiment report as a plain-text block."""
     lines = [

@@ -4,6 +4,12 @@ The :class:`SweepRunner` removes the boilerplate every experiment shares:
 run one configuration over several seeds (constructing a fresh adversary per
 seed, because adversaries are stateful), collect the per-run summaries, and
 aggregate them into a single row of means.
+
+Since the execution-backend refactor this class is a thin convenience
+wrapper: replication is delegated to :mod:`repro.exec` (serial by default,
+or any backend passed to the constructor) and row aggregation to
+:func:`repro.experiments.plan.aggregate_replicate_row`.  Declarative sweeps
+should use :class:`~repro.experiments.plan.SweepPlan` directly.
 """
 
 from __future__ import annotations
@@ -11,10 +17,10 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from repro.adversary.base import Adversary
-from repro.metrics.summary import aggregate_summaries
+from repro.exec.backends import ConfigJob, ExecutionBackend, SerialBackend
+from repro.experiments.plan import aggregate_replicate_row
 from repro.protocols.base import BackoffProtocol
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
 
 AdversaryFactory = Callable[[], Adversary]
@@ -23,11 +29,17 @@ AdversaryFactory = Callable[[], Adversary]
 class SweepRunner:
     """Runs replicated simulations for experiment sweeps."""
 
-    def __init__(self, seeds: Sequence[int], max_slots: int = 200_000) -> None:
+    def __init__(
+        self,
+        seeds: Sequence[int],
+        max_slots: int = 200_000,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
         if not seeds:
             raise ValueError("at least one seed is required")
         self.seeds = list(seeds)
         self.max_slots = max_slots
+        self.backend = backend or SerialBackend()
 
     def run_replicates(
         self,
@@ -39,18 +51,20 @@ class SweepRunner:
         max_slots: int | None = None,
     ) -> list[SimulationResult]:
         """One simulation per seed with a freshly built adversary each time."""
-        results = []
-        for seed in self.seeds:
-            config = SimulationConfig(
-                protocol=protocol,
-                adversary=adversary_factory(),
-                seed=seed,
-                max_slots=max_slots or self.max_slots,
-                stop_when_drained=stop_when_drained,
-                collect_potential=collect_potential,
+        jobs = [
+            ConfigJob(
+                SimulationConfig(
+                    protocol=protocol,
+                    adversary=adversary_factory(),
+                    seed=seed,
+                    max_slots=max_slots or self.max_slots,
+                    stop_when_drained=stop_when_drained,
+                    collect_potential=collect_potential,
+                )
             )
-            results.append(Simulator(config).run())
-        return results
+            for seed in self.seeds
+        ]
+        return self.backend.run(jobs)
 
     def aggregate_row(
         self,
@@ -72,27 +86,6 @@ class SweepRunner:
             stop_when_drained=stop_when_drained,
             max_slots=max_slots,
         )
-        summaries = [result.summary() for result in results]
-        aggregated = aggregate_summaries(summaries)
-        row: dict[str, Any] = {"protocol": protocol.name}
-        if extra_columns:
-            row.update(extra_columns)
-        row.update(
-            {
-                "replicates": len(results),
-                "throughput": aggregated["throughput"].mean,
-                "implicit_throughput": aggregated["implicit_throughput"].mean,
-                "mean_accesses": aggregated["mean_accesses"].mean,
-                "max_accesses": aggregated["max_accesses"].mean,
-                "mean_sends": aggregated["mean_sends"].mean,
-                "mean_listens": aggregated["mean_listens"].mean,
-                "max_backlog": aggregated["max_backlog"].mean,
-                "makespan": aggregated["makespan"].mean,
-                "active_slots": aggregated["num_active_slots"].mean,
-                "jammed_active": aggregated["num_jammed_active"].mean,
-                "arrivals": aggregated["num_arrivals"].mean,
-                "delivered": aggregated["num_delivered"].mean,
-                "drained": all(summary.drained for summary in summaries),
-            }
+        return aggregate_replicate_row(
+            results, protocol_name=protocol.name, extra_columns=extra_columns
         )
-        return row

@@ -29,6 +29,63 @@ from repro.sim.results import PacketRecord, SimulationResult
 from repro.sim.rng import RandomStreams
 
 
+class _ObliviousView:
+    """Minimal per-slot view handed to oblivious adversaries on the fast path.
+
+    Only the O(1) scalar fields of :class:`~repro.adversary.base.SystemView`
+    are materialised; the per-packet fields deliberately raise, because an
+    adversary that reads them is not oblivious and must run on the regular
+    path (where the snapshot is taken *before* this slot's injections —
+    reading lazily here would observe a different state).
+    """
+
+    __slots__ = (
+        "slot",
+        "backlog",
+        "arrivals_so_far",
+        "departures_so_far",
+        "jammed_so_far",
+        "active_slots_so_far",
+        "last_outcome",
+    )
+
+    def __init__(
+        self,
+        slot: int,
+        backlog: int,
+        arrivals_so_far: int,
+        departures_so_far: int,
+        jammed_so_far: int,
+        active_slots_so_far: int,
+        last_outcome: SlotOutcome | None,
+    ) -> None:
+        self.slot = slot
+        self.backlog = backlog
+        self.arrivals_so_far = arrivals_so_far
+        self.departures_so_far = departures_so_far
+        self.jammed_so_far = jammed_so_far
+        self.active_slots_so_far = active_slots_so_far
+        self.last_outcome = last_outcome
+
+    def _not_oblivious(self, name: str) -> RuntimeError:
+        return RuntimeError(
+            f"adversary declared itself oblivious but read view.{name}; "
+            "set oblivious=False on the adversary to run on the full path"
+        )
+
+    @property
+    def active_packets(self) -> tuple:
+        raise self._not_oblivious("active_packets")
+
+    @property
+    def sending_probabilities(self) -> dict:
+        raise self._not_oblivious("sending_probabilities")
+
+    @property
+    def contention(self) -> float:
+        raise self._not_oblivious("contention")
+
+
 class Simulator:
     """Runs one execution described by a :class:`SimulationConfig`."""
 
@@ -62,6 +119,21 @@ class Simulator:
         self._needs_probabilities = bool(
             getattr(self._adversary, "needs_probabilities", False)
         )
+        # Fast path: with no trace, no potential tracker, and an oblivious
+        # adversary, nothing consumes the per-slot SystemView snapshot, so
+        # the engine skips building it (no active-id tuple, no probability
+        # dict) and reuses its per-slot buffers.  The fast path is required
+        # to be bit-identical to the regular path: it performs the same RNG
+        # draws and state updates, only fewer allocations.
+        self._fast_path = (
+            not self._track_contention
+            and not self._needs_probabilities
+            and bool(getattr(self._adversary, "oblivious", False))
+        )
+        # Per-slot scratch buffers, reused across steps on both paths.
+        self._actions_buffer: list[tuple[Packet, bool, bool]] = []
+        self._senders_buffer: list[int] = []
+        self._listeners_buffer: list[int] = []
 
     # -- Public API -----------------------------------------------------------
 
@@ -101,21 +173,41 @@ class Simulator:
         """Simulate a single slot and return its outcome."""
         slot = self._slot
         adversary_rng = self._adversary_rng
-        view = self._build_view()
+        if self._fast_path:
+            collector = self.collector
+            view = _ObliviousView(
+                slot,
+                len(self._active),
+                collector.num_arrivals,
+                collector.num_successes,
+                collector.num_jammed,
+                collector.num_active_slots,
+                self._last_outcome,
+            )
+        else:
+            view = self._build_view()
 
         # 1. Adversary: injections and adaptive jamming (pre-slot decision).
         num_arrivals = self._adversary.arrivals(view, adversary_rng)
         if num_arrivals < 0:
             raise ValueError("adversary produced a negative arrival count")
-        arrival_ids = tuple(self._inject(slot) for _ in range(num_arrivals))
+        if self.trace is not None:
+            arrival_ids = tuple(self._inject(slot) for _ in range(num_arrivals))
+        else:
+            arrival_ids = ()
+            for _ in range(num_arrivals):
+                self._inject(slot)
         jammed = bool(self._adversary.jam(view, adversary_rng))
 
         active_before = len(self._active)
 
         # 2. Packet decisions.
-        senders: list[int] = []
-        listeners: list[int] = []
-        actions: list[tuple[Packet, bool, bool]] = []
+        senders = self._senders_buffer
+        listeners = self._listeners_buffer
+        actions = self._actions_buffer
+        senders.clear()
+        listeners.clear()
+        actions.clear()
         for packet in self._active.values():
             action = packet.state.decide(packet.rng)
             is_send = action.is_send
@@ -132,21 +224,33 @@ class Simulator:
                 self._adversary.reactive_jam(view, tuple(senders), adversary_rng)
             )
 
-        # 4. Channel resolution and feedback delivery.
+        # 4. Channel resolution and feedback delivery.  The three possible
+        # reports are shared (FeedbackReport is frozen) instead of being
+        # rebuilt per packet.
         resolution = self.channel.resolve(senders, jammed=jammed)
         feedback = resolution.feedback
         winner = resolution.winner
+        send_report = None
+        win_report = None
+        listen_report = None
         for packet, is_send, is_listen in actions:
             if is_send:
                 packet.record_send()
-                report = FeedbackReport(
-                    feedback=feedback,
-                    sent=True,
-                    succeeded=packet.packet_id == winner,
-                )
+                if packet.packet_id == winner:
+                    if win_report is None:
+                        win_report = FeedbackReport(
+                            feedback=feedback, sent=True, succeeded=True
+                        )
+                    report = win_report
+                else:
+                    if send_report is None:
+                        send_report = FeedbackReport(feedback=feedback, sent=True)
+                    report = send_report
             elif is_listen:
                 packet.record_listen()
-                report = FeedbackReport(feedback=feedback, sent=False)
+                if listen_report is None:
+                    listen_report = FeedbackReport(feedback=feedback, sent=False)
+                report = listen_report
             else:
                 report = SLEEP_REPORT
             packet.state.observe(report, packet.rng)
@@ -237,11 +341,18 @@ class Simulator:
         active_ids = tuple(self._active)
         probabilities: dict[int, float | None] = {}
         contention = 0.0
-        if self._needs_probabilities or self._track_contention:
+        # Two specialised loops: the probability dict is only populated when
+        # an adversary actually reads it, and the contention-only case walks
+        # the packets without per-packet flag checks or dict writes.
+        if self._needs_probabilities:
             for packet_id, packet in self._active.items():
                 probability = packet.state.sending_probability()
-                if self._needs_probabilities:
-                    probabilities[packet_id] = probability
+                probabilities[packet_id] = probability
+                if probability is not None:
+                    contention += probability
+        elif self._track_contention:
+            for packet in self._active.values():
+                probability = packet.state.sending_probability()
                 if probability is not None:
                     contention += probability
         return SystemView(

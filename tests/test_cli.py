@@ -1,0 +1,63 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("E1", "E5", "E9", "A1"):
+            assert exp_id in out
+        assert "benchmarks/bench_e1_throughput_batch.py" in out
+
+
+class TestRun:
+    def test_run_writes_json_report(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        code = main(
+            ["run", "e1", "--scale", "smoke", "--seeds", "11", "--out", str(out_dir)]
+        )
+        assert code == 0
+        payload = json.loads((out_dir / "e1.json").read_text(encoding="utf-8"))
+        assert payload["experiment"] == "E1"
+        assert payload["scale"] == "smoke"
+        assert payload["seeds"] == [11]
+        assert payload["backend"] == {"backend": "serial"}
+        assert payload["elapsed_seconds"] > 0
+        assert payload["rows"] and payload["verdicts"]
+        rendered = capsys.readouterr().out
+        assert "E1: Throughput on batch arrivals" in rendered
+
+    def test_run_processes_backend_with_cache(self, tmp_path):
+        out_dir = tmp_path / "results"
+        cache_dir = tmp_path / "cache"
+        args = [
+            "run", "e1",
+            "--scale", "smoke",
+            "--seeds", "11",
+            "--backend", "processes",
+            "--workers", "2",
+            "--cache-dir", str(cache_dir),
+            "--out", str(out_dir),
+        ]
+        assert main(args) == 0
+        first = json.loads((out_dir / "e1.json").read_text(encoding="utf-8"))
+        assert first["backend"]["inner"]["workers"] == 2
+        assert list(cache_dir.glob("*.pkl")), "cache should be populated"
+        # Second invocation hits the cache and must reproduce the same rows.
+        assert main(args) == 0
+        second = json.loads((out_dir / "e1.json").read_text(encoding="utf-8"))
+        assert second["rows"] == first["rows"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "e42"])
+
+    def test_bad_seeds_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "e1", "--seeds", "one,two"])

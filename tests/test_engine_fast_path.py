@@ -1,0 +1,163 @@
+"""Tests for the oblivious-adversary fast path of the engine."""
+
+import pytest
+
+from repro.adversary.arrivals import (
+    AdversarialQueueingArrivals,
+    BatchArrivals,
+    PeriodicBurstArrivals,
+)
+from repro.adversary.composite import CompositeAdversary
+from repro.adversary.jamming import (
+    AdaptiveContentionJammer,
+    BernoulliJamming,
+    BurstJamming,
+    NoJamming,
+    ReactiveSuccessJammer,
+)
+from repro.core.low_sensing import LowSensingBackoff
+from repro.protocols.binary_exponential import BinaryExponentialBackoff
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator, _ObliviousView
+
+
+def _packet_tuples(result):
+    return [
+        (p.packet_id, p.arrival_slot, p.departure_slot, p.sends, p.listens)
+        for p in result.packets
+    ]
+
+
+class TestObliviousFlags:
+    def test_oblivious_compositions(self):
+        assert CompositeAdversary(BatchArrivals(5)).oblivious
+        assert CompositeAdversary(BatchArrivals(5), BurstJamming(0, 3)).oblivious
+        assert CompositeAdversary(
+            AdversarialQueueingArrivals(rate=0.1, granularity=10)
+        ).oblivious
+
+    def test_state_aware_compositions_are_not_oblivious(self):
+        assert not CompositeAdversary(
+            BatchArrivals(5), AdaptiveContentionJammer(budget=3)
+        ).oblivious
+        assert not CompositeAdversary(
+            BatchArrivals(5), ReactiveSuccessJammer(budget=3)
+        ).oblivious
+
+    def test_bernoulli_obliviousness_depends_on_only_active(self):
+        assert not BernoulliJamming(0.2).oblivious
+        assert BernoulliJamming(0.2, only_active=False).oblivious
+        assert NoJamming().oblivious
+
+
+class TestFastPathGate:
+    def _config(self, **kwargs):
+        return SimulationConfig(
+            protocol=LowSensingBackoff(),
+            adversary=CompositeAdversary(BatchArrivals(10)),
+            seed=1,
+            **kwargs,
+        )
+
+    def test_enabled_for_oblivious_adversary(self):
+        assert Simulator(self._config())._fast_path
+
+    def test_disabled_by_trace_potential_or_state_aware_adversary(self):
+        assert not Simulator(self._config(collect_trace=True))._fast_path
+        assert not Simulator(self._config(collect_potential=True))._fast_path
+        config = SimulationConfig(
+            protocol=LowSensingBackoff(),
+            adversary=CompositeAdversary(
+                BatchArrivals(10), AdaptiveContentionJammer(budget=2)
+            ),
+            seed=1,
+        )
+        assert not Simulator(config)._fast_path
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize(
+        "adversary_factory",
+        [
+            lambda: CompositeAdversary(BatchArrivals(40)),
+            lambda: CompositeAdversary(
+                PeriodicBurstArrivals(burst_size=5, period=20, num_bursts=4),
+                BurstJamming(start=10, length=15),
+            ),
+            lambda: CompositeAdversary(
+                AdversarialQueueingArrivals(
+                    rate=0.2, granularity=50, placement="random", horizon=500
+                )
+            ),
+        ],
+    )
+    @pytest.mark.parametrize("protocol_cls", [LowSensingBackoff, BinaryExponentialBackoff])
+    def test_bit_identical_to_slow_path(self, adversary_factory, protocol_cls):
+        def run(force_slow):
+            config = SimulationConfig(
+                protocol=protocol_cls(),
+                adversary=adversary_factory(),
+                seed=13,
+                max_slots=100_000,
+            )
+            sim = Simulator(config)
+            assert sim._fast_path
+            if force_slow:
+                sim._fast_path = False
+            return sim.run()
+
+        fast, slow = run(False), run(True)
+        assert fast.summary() == slow.summary()
+        assert _packet_tuples(fast) == _packet_tuples(slow)
+
+    def test_slot_by_slot_outcomes_match(self):
+        def outcomes(force_slow):
+            config = SimulationConfig(
+                protocol=LowSensingBackoff(),
+                adversary=CompositeAdversary(BatchArrivals(12)),
+                seed=5,
+                max_slots=400,
+                stop_when_drained=False,
+            )
+            sim = Simulator(config)
+            if force_slow:
+                sim._fast_path = False
+            return [sim.step() for _ in range(400)]
+
+        assert outcomes(False) == outcomes(True)
+
+
+class TestObliviousView:
+    def test_scalar_fields_available(self):
+        view = _ObliviousView(3, 7, 10, 2, 1, 8, None)
+        assert view.slot == 3
+        assert view.backlog == 7
+        assert view.arrivals_so_far == 10
+
+    def test_per_packet_fields_fail_loudly(self):
+        view = _ObliviousView(0, 0, 0, 0, 0, 0, None)
+        with pytest.raises(RuntimeError, match="oblivious"):
+            view.active_packets
+        with pytest.raises(RuntimeError, match="oblivious"):
+            view.sending_probabilities
+        with pytest.raises(RuntimeError, match="oblivious"):
+            view.contention
+
+    def test_misdeclared_adversary_is_caught(self):
+        class LyingAdversary(CompositeAdversary):
+            oblivious = True
+
+            def __init__(self):
+                super().__init__(BatchArrivals(3))
+                self.oblivious = True
+
+            def jam(self, view, rng):
+                return bool(view.active_packets) and False
+
+        config = SimulationConfig(
+            protocol=LowSensingBackoff(), adversary=LyingAdversary(), seed=1
+        )
+        sim = Simulator(config)
+        assert sim._fast_path
+        with pytest.raises(RuntimeError, match="oblivious"):
+            sim.step()

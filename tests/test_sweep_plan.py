@@ -1,0 +1,154 @@
+"""Tests for the declarative sweep layer (factories, RunSpec, SweepPlan)."""
+
+import pickle
+
+import pytest
+
+from repro.adversary.arrivals import BatchArrivals
+from repro.adversary.composite import CompositeAdversary
+from repro.adversary.jamming import BernoulliJamming
+from repro.core.low_sensing import LowSensingBackoff
+from repro.exec.backends import ProcessPoolBackend, SerialBackend
+from repro.experiments.experiments import run_e1_throughput_batch, run_e9_potential_drift
+from repro.experiments.plan import RunSpec, SweepPlan, factory
+from repro.experiments.runner import SweepRunner
+from repro.sim.engine import Simulator
+
+
+def _batch_adversary(n):
+    return factory(CompositeAdversary, factory(BatchArrivals, n))
+
+
+class TestFactory:
+    def test_builds_fresh_instances(self):
+        f = _batch_adversary(5)
+        first, second = f.build(), f.build()
+        assert first is not second
+        assert first.arrival_process.n == 5
+
+    def test_nested_factories_and_kwargs(self):
+        f = factory(
+            CompositeAdversary,
+            factory(BatchArrivals, 3),
+            factory(BernoulliJamming, probability=0.5, budget=2),
+        )
+        adversary = f.build()
+        assert adversary.arrival_process.n == 3
+        assert adversary.jammer.probability == 0.5
+        assert adversary.jammer.budget == 2
+
+    def test_picklable(self):
+        f = _batch_adversary(4)
+        rebuilt = pickle.loads(pickle.dumps(f))
+        assert rebuilt.build().arrival_process.n == 4
+
+
+class TestRunSpec:
+    def test_build_config_propagates_fields(self):
+        spec = RunSpec(
+            protocol=LowSensingBackoff(),
+            adversary=_batch_adversary(7),
+            seed=42,
+            max_slots=1_000,
+            collect_potential=True,
+        )
+        config = spec.build_config()
+        assert config.seed == 42
+        assert config.max_slots == 1_000
+        assert config.collect_potential
+        # Fresh adversary per build: budgeted/windowed adversaries are
+        # stateful, so sharing one across runs would leak state.
+        assert spec.build_config().adversary is not config.adversary
+
+    def test_cache_key_stable_and_discriminating(self):
+        spec = RunSpec(LowSensingBackoff(), _batch_adversary(7), seed=1)
+        assert spec.cache_key() == spec.cache_key()
+        other_seed = RunSpec(LowSensingBackoff(), _batch_adversary(7), seed=2)
+        other_n = RunSpec(LowSensingBackoff(), _batch_adversary(8), seed=1)
+        keys = {spec.cache_key(), other_seed.cache_key(), other_n.cache_key()}
+        assert len(keys) == 3
+
+    def test_cache_key_none_for_plain_callables(self):
+        spec = RunSpec(
+            LowSensingBackoff(),
+            lambda: CompositeAdversary(BatchArrivals(3)),
+            seed=1,
+        )
+        assert spec.cache_key() is None
+        # The spec must still be runnable.
+        assert spec.build_config().adversary.arrival_process.n == 3
+
+
+class TestSweepPlan:
+    def test_one_spec_per_seed_and_grouping(self):
+        plan = SweepPlan()
+        gid = plan.add_group(
+            LowSensingBackoff(), _batch_adversary(5), [1, 2, 3], columns={"n": 5}
+        )
+        assert len(plan) == 3
+        group = plan.groups[gid]
+        assert group.seeds == (1, 2, 3)
+        assert [plan.specs[i].seed for i in group.spec_indices] == [1, 2, 3]
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            SweepPlan().add_group(LowSensingBackoff(), _batch_adversary(5), [])
+
+    def test_run_matches_direct_simulation(self):
+        plan = SweepPlan()
+        plan.add_group(LowSensingBackoff(), _batch_adversary(10), [3])
+        result = plan.run().results[0]
+        direct = Simulator(plan.specs[0].build_config()).run()
+        assert result.summary() == direct.summary()
+
+    def test_group_rows_match_sweep_runner(self):
+        """The declarative path must aggregate exactly like SweepRunner."""
+        seeds = [1, 2]
+        plan = SweepPlan()
+        plan.add_group(
+            LowSensingBackoff(), _batch_adversary(20), seeds, columns={"n": 20}
+        )
+        plan_row = plan.run().group_rows()[0]
+        runner_row = SweepRunner(seeds).aggregate_row(
+            LowSensingBackoff(),
+            lambda: CompositeAdversary(BatchArrivals(20)),
+            extra_columns={"n": 20},
+        )
+        assert plan_row == runner_row
+
+
+class TestBackendEquivalence:
+    """The same plan must produce bit-identical summaries on every backend."""
+
+    def _plan(self):
+        plan = SweepPlan()
+        plan.add_group(
+            LowSensingBackoff(), _batch_adversary(15), [1, 2], columns={"n": 15}
+        )
+        plan.add_group(
+            LowSensingBackoff(), _batch_adversary(30), [1, 2], columns={"n": 30}
+        )
+        return plan
+
+    def test_serial_vs_processes(self):
+        serial = self._plan().run(SerialBackend())
+        parallel = self._plan().run(ProcessPoolBackend(workers=2))
+        assert [r.summary() for r in parallel.results] == [
+            r.summary() for r in serial.results
+        ]
+        assert parallel.group_rows() == serial.group_rows()
+
+    def test_experiment_rows_identical_across_backends(self):
+        serial_report = run_e1_throughput_batch(scale="smoke")
+        parallel_report = run_e1_throughput_batch(
+            scale="smoke", backend=ProcessPoolBackend(workers=2)
+        )
+        assert parallel_report.rows == serial_report.rows
+        assert parallel_report.verdicts == serial_report.verdicts
+
+    def test_potential_experiment_survives_processes(self):
+        # E9 ships PotentialTracker objects across the process boundary.
+        report = run_e9_potential_drift(
+            scale="smoke", backend=ProcessPoolBackend(workers=2)
+        )
+        assert report.rows
