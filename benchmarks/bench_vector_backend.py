@@ -1,0 +1,109 @@
+"""Benchmark: VectorBackend vs SerialBackend on the E1 batch replication set.
+
+Times the vectorizable core of E1's batch-arrival grid — the oblivious
+baseline protocols (binary exponential, polynomial, genie-tuned fixed
+probability) replicated over seeds — through both backends at the same
+replication count, and records the measured speedup in
+``benchmarks/results/BENCH_vector.json`` (history accumulates across runs,
+so the vector engine's perf trajectory is tracked across PRs).
+
+The acceptance bar for the vector subsystem is a >= 5x speedup at this
+replication count; the benchmark asserts it so regressions fail loudly.
+On noisy shared machines (CI runners) the asserted bar can be relaxed via
+``BENCH_VECTOR_SPEEDUP_TARGET`` — the *measured* speedup is always
+recorded in the JSON artifact, so the acceptance number stays auditable
+while the hard assertion does not flake on contended hardware.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.adversary.arrivals import BatchArrivals
+from repro.adversary.composite import CompositeAdversary
+from repro.exec import SerialBackend, VectorBackend
+from repro.experiments.bench import record_bench
+from repro.experiments.plan import SweepPlan, factory
+from repro.protocols.binary_exponential import BinaryExponentialBackoff
+from repro.protocols.fixed_probability import FixedProbabilityProtocol
+from repro.protocols.polynomial_backoff import PolynomialBackoff
+
+BENCH_VECTOR_PATH = RESULTS_DIR / "BENCH_vector.json"
+
+#: Replications per configuration; the speedup target is defined at this
+#: replication count (vector cost is nearly flat in it, serial is linear).
+REPLICATIONS = 24
+
+BATCH_SIZES = (100, 200)
+
+SPEEDUP_TARGET = float(os.environ.get("BENCH_VECTOR_SPEEDUP_TARGET", "5.0"))
+
+
+def build_plan() -> SweepPlan:
+    seeds = list(range(1, REPLICATIONS + 1))
+    plan = SweepPlan()
+    for n in BATCH_SIZES:
+        for protocol in (
+            BinaryExponentialBackoff(),
+            PolynomialBackoff(),
+            FixedProbabilityProtocol.tuned_for(n),
+        ):
+            plan.add_group(
+                protocol,
+                factory(CompositeAdversary, factory(BatchArrivals, n)),
+                seeds,
+                columns={"n": n},
+            )
+    return plan
+
+
+def test_vector_backend_speedup(benchmark):
+    plan = build_plan()
+    assert plan.vector_summary()["vectorizable_specs"] == len(plan)
+
+    vector_backend = VectorBackend()
+    started = time.perf_counter()
+    vector_results = benchmark.pedantic(
+        lambda: plan.run(vector_backend), rounds=1, iterations=1, warmup_rounds=0
+    )
+    vector_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    serial_results = plan.run(SerialBackend())
+    serial_seconds = time.perf_counter() - started
+
+    # Same workload on both sides (statistically equivalent outcomes).
+    for vector_row, serial_row in zip(
+        vector_results.group_rows(), serial_results.group_rows()
+    ):
+        assert vector_row["arrivals"] == serial_row["arrivals"]
+        assert vector_row["drained"] == serial_row["drained"]
+
+    speedup = serial_seconds / vector_seconds
+    record_bench(
+        BENCH_VECTOR_PATH,
+        "E1_vector_core",
+        seconds=vector_seconds,
+        scale="default",
+        backend=vector_backend.describe(),
+        extra={
+            "serial_seconds": round(serial_seconds, 4),
+            "speedup": round(speedup, 2),
+            "speedup_target": SPEEDUP_TARGET,
+            "replications": REPLICATIONS,
+            "batch_sizes": list(BATCH_SIZES),
+            "protocols": ["binary-exponential", "polynomial", "fixed-probability"],
+        },
+    )
+    print(
+        f"\nvector {vector_seconds:.2f}s vs serial {serial_seconds:.2f}s "
+        f"-> {speedup:.1f}x (target >= {SPEEDUP_TARGET}x) "
+        f"[{len(plan)} runs, {REPLICATIONS} replications/config]"
+    )
+    assert speedup >= SPEEDUP_TARGET, (
+        f"vector backend speedup {speedup:.2f}x fell below the "
+        f"{SPEEDUP_TARGET}x acceptance bar"
+    )

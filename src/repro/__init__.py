@@ -54,6 +54,7 @@ from repro.exec import (
     ProcessPoolBackend,
     ResultCacheBackend,
     SerialBackend,
+    VectorBackend,
     make_backend,
 )
 from repro.queueing import QueueingConstraint
@@ -99,6 +100,7 @@ __all__ = [
     "Simulator",
     "SlottedAloha",
     "TraceArrivals",
+    "VectorBackend",
     "available_protocols",
     "get_protocol",
     "make_backend",

@@ -41,6 +41,14 @@ class Jammer(abc.ABC):
     #: fast path; defaults to False so subclasses must opt in.
     oblivious: bool = False
 
+    #: Whether :mod:`repro.sim.vector` ships a batched jamming kernel for
+    #: this strategy.  The vector engine additionally requires an exact type
+    #: match, so subclasses never inherit a kernel that may not describe
+    #: them.  Unlike ``oblivious``, a vectorizable jammer may consult the
+    #: backlog (the vector engine tracks it as an array), which is why
+    #: budget- and activity-gated strategies qualify.
+    vectorizable: bool = False
+
     @abc.abstractmethod
     def jam(self, view: SystemView, rng: Random) -> bool:
         """Adaptive (pre-slot) jamming decision."""
@@ -90,6 +98,7 @@ class NoJamming(Jammer):
     """Never jams."""
 
     oblivious = True
+    vectorizable = True
 
     def jam(self, view: SystemView, rng: Random) -> bool:
         return False
@@ -103,6 +112,8 @@ class BernoulliJamming(_BudgetedJammer):
     packet (jamming inactive slots is wasted effort for the adversary and
     muddies the (N+J)/S accounting, so experiments default to True).
     """
+
+    vectorizable = True
 
     def __init__(
         self,
@@ -131,6 +142,7 @@ class PeriodicJamming(_BudgetedJammer):
     """Jam every ``period``-th slot starting at ``offset``."""
 
     oblivious = True
+    vectorizable = True
 
     def __init__(self, period: int, offset: int = 0, budget: int | None = None) -> None:
         super().__init__(budget)
@@ -156,6 +168,7 @@ class BurstJamming(_BudgetedJammer):
     """
 
     oblivious = True
+    vectorizable = True
 
     def __init__(
         self,

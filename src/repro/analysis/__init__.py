@@ -11,9 +11,21 @@ shape-verdicts:
   power-law, and linear scaling models with model selection, used to decide
   whether a measured curve grows polylogarithmically or polynomially;
 * :mod:`repro.analysis.tables` — plain-text table rendering for experiment
-  reports (no plotting dependencies).
+  reports (no plotting dependencies);
+* :mod:`repro.analysis.equivalence` — statistical-agreement checking
+  between execution backends (CI overlap on replicate means, two-sample KS
+  on pooled per-packet distributions), used to validate that the vector
+  engine reproduces the scalar engine's distributions.
 """
 
+from repro.analysis.equivalence import (
+    EquivalenceReport,
+    KsResult,
+    MetricComparison,
+    compare_result_sets,
+    ks_2sample,
+    verify_vector_equivalence,
+)
 from repro.analysis.fitting import (
     FitResult,
     fit_constant,
@@ -32,7 +44,13 @@ from repro.analysis.tables import format_table, render_rows
 
 __all__ = [
     "ConfidenceInterval",
+    "EquivalenceReport",
     "FitResult",
+    "KsResult",
+    "MetricComparison",
+    "compare_result_sets",
+    "ks_2sample",
+    "verify_vector_equivalence",
     "bootstrap_mean_interval",
     "describe",
     "fit_constant",

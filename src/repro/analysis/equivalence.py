@@ -1,0 +1,334 @@
+"""Statistical-equivalence checking between execution backends.
+
+The vector engine is *not* bit-identical to the scalar engine: both simulate
+the same Markov chain, but the scalar engine hands every packet its own
+``random.Random`` stream while the vector engine draws per-replication
+Philox coin matrices.  Asserting equality therefore has to be statistical:
+two sets of replicated runs of the same configuration should look like two
+samples from one distribution.
+
+Two complementary checks are applied per metric:
+
+* **replicate-level agreement** — the replicate means of a headline metric
+  (throughput, mean channel accesses, mean latency) are compared with a
+  Welch two-sample z-test at a deliberately small ``mean_alpha``; a
+  relative tolerance covers the degenerate cases (zero variance, fewer
+  than two replicates) where the test is undefined.  The small alpha
+  matters because drain-time-driven metrics are heavy-tailed, so at
+  10–20 replicates the normal approximation under-covers and a loose
+  threshold would reject genuinely equivalent engine pairs;
+* **distribution-level agreement** — per-packet distributions (latency,
+  channel accesses) pooled across replicates are compared with a two-sample
+  Kolmogorov–Smirnov test; the sides agree when the asymptotic p-value
+  clears ``alpha``.
+
+Repeated *vector* runs of the same batch must be bit-identical — that
+stronger property is checked directly by the test suite, not here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.sim.results import SimulationResult
+
+
+# ---------------------------------------------------------------------------
+# Two-sample Kolmogorov–Smirnov test (no scipy dependency)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KsResult:
+    """Two-sample KS statistic with its asymptotic p-value."""
+
+    statistic: float
+    p_value: float
+    n1: int
+    n2: int
+
+
+def ks_2sample(sample1: Sequence[float], sample2: Sequence[float]) -> KsResult:
+    """Two-sample KS test with the classical asymptotic p-value.
+
+    The p-value uses the Kolmogorov distribution with the standard
+    small-sample correction (Numerical Recipes); it is accurate enough for
+    the pooled per-packet samples (hundreds to thousands of points) this
+    harness compares.
+    """
+    if not sample1 or not sample2:
+        raise ValueError("both samples must be non-empty")
+    xs = sorted(sample1)
+    ys = sorted(sample2)
+    n1, n2 = len(xs), len(ys)
+    i = j = 0
+    statistic = 0.0
+    while i < n1 and j < n2:
+        x, y = xs[i], ys[j]
+        smallest = min(x, y)
+        while i < n1 and xs[i] <= smallest:
+            i += 1
+        while j < n2 and ys[j] <= smallest:
+            j += 1
+        statistic = max(statistic, abs(i / n1 - j / n2))
+    effective = math.sqrt(n1 * n2 / (n1 + n2))
+    lam = (effective + 0.12 + 0.11 / effective) * statistic
+    p_value = _kolmogorov_sf(lam)
+    return KsResult(statistic=statistic, p_value=p_value, n1=n1, n2=n2)
+
+
+def _kolmogorov_sf(lam: float) -> float:
+    """Survival function of the Kolmogorov distribution, ``Q_KS(λ)``."""
+    if lam <= 0.0:
+        return 1.0
+    total = 0.0
+    for k in range(1, 101):
+        term = 2.0 * (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return min(1.0, max(0.0, total))
+
+
+# ---------------------------------------------------------------------------
+# Metric extraction
+# ---------------------------------------------------------------------------
+
+
+def _replicate_throughput(result: SimulationResult) -> float:
+    return result.throughput
+
+
+def _replicate_mean_accesses(result: SimulationResult) -> float:
+    return result.energy_statistics().mean_accesses
+
+
+def _replicate_mean_latency(result: SimulationResult) -> float:
+    return result.latency_statistics().mean_latency
+
+
+#: Per-replication headline metrics compared via CI overlap.
+REPLICATE_METRICS: dict[str, Callable[[SimulationResult], float]] = {
+    "throughput": _replicate_throughput,
+    "mean_accesses": _replicate_mean_accesses,
+    "mean_latency": _replicate_mean_latency,
+}
+
+
+def _pooled_latencies(results: Sequence[SimulationResult]) -> list[float]:
+    return [
+        float(p.latency)
+        for result in results
+        for p in result.packets
+        if p.latency is not None
+    ]
+
+
+def _pooled_accesses(results: Sequence[SimulationResult]) -> list[float]:
+    return [float(p.channel_accesses) for result in results for p in result.packets]
+
+
+#: Pooled per-packet distributions compared via the KS test.
+POOLED_METRICS: dict[str, Callable[[Sequence[SimulationResult]], list[float]]] = {
+    "latency_distribution": _pooled_latencies,
+    "accesses_distribution": _pooled_accesses,
+}
+
+
+# ---------------------------------------------------------------------------
+# The report
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """Outcome of comparing one metric between the two sides."""
+
+    metric: str
+    method: str  # "ci-overlap" or "ks"
+    passed: bool
+    detail: str
+
+
+@dataclass
+class EquivalenceReport:
+    """All metric comparisons between two result sets."""
+
+    comparisons: list[MetricComparison] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(comparison.passed for comparison in self.comparisons)
+
+    def failures(self) -> list[MetricComparison]:
+        return [c for c in self.comparisons if not c.passed]
+
+    def render(self) -> str:
+        lines = ["equivalence: " + ("PASS" if self.passed else "FAIL")]
+        for c in self.comparisons:
+            status = "ok " if c.passed else "FAIL"
+            lines.append(f"  [{status}] {c.metric} ({c.method}): {c.detail}")
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def compare_result_sets(
+    scalar_results: Sequence[SimulationResult],
+    vector_results: Sequence[SimulationResult],
+    *,
+    alpha: float = 0.001,
+    mean_alpha: float = 0.002,
+    relative_tolerance: float = 0.15,
+) -> EquivalenceReport:
+    """Check that two replicated result sets agree statistically.
+
+    ``scalar_results`` and ``vector_results`` should be replicated runs of
+    the *same* configuration (any seeds).  ``alpha`` is the KS rejection
+    level and ``mean_alpha`` the Welch-test rejection level — both
+    deliberately small, because at these sample sizes loose thresholds
+    reject genuinely equivalent engine pairs far more often than they
+    catch real defects (a systematic kernel bug produces p-values orders
+    of magnitude below any sane threshold).  ``relative_tolerance`` is the
+    fallback agreement criterion for replicate means when the Welch test
+    is undefined (zero variance, fewer than two replicates).
+    """
+    if not scalar_results or not vector_results:
+        raise ValueError("both result sets must be non-empty")
+    report = EquivalenceReport()
+
+    for metric, extract in REPLICATE_METRICS.items():
+        try:
+            left = [extract(result) for result in scalar_results]
+            right = [extract(result) for result in vector_results]
+        except ValueError as exc:
+            report.notes.append(f"{metric}: skipped ({exc})")
+            continue
+        report.comparisons.append(
+            _compare_means(metric, left, right, mean_alpha, relative_tolerance)
+        )
+
+    for metric, pool in POOLED_METRICS.items():
+        left = pool(scalar_results)
+        right = pool(vector_results)
+        if not left or not right:
+            report.notes.append(f"{metric}: skipped (no samples)")
+            continue
+        ks = ks_2sample(left, right)
+        report.comparisons.append(
+            MetricComparison(
+                metric=metric,
+                method="ks",
+                passed=ks.p_value > alpha,
+                detail=(
+                    f"D={ks.statistic:.4f}, p={ks.p_value:.4f} "
+                    f"(n={ks.n1}/{ks.n2}, alpha={alpha})"
+                ),
+            )
+        )
+    return report
+
+
+def _compare_means(
+    metric: str,
+    left: list[float],
+    right: list[float],
+    mean_alpha: float,
+    relative_tolerance: float,
+) -> MetricComparison:
+    n1, n2 = len(left), len(right)
+    left_mean = sum(left) / n1
+    right_mean = sum(right) / n2
+    scale = max(abs(left_mean), abs(right_mean), 1e-12)
+    relative_difference = abs(left_mean - right_mean) / scale
+    if n1 >= 2 and n2 >= 2:
+        left_var = sum((x - left_mean) ** 2 for x in left) / (n1 - 1)
+        right_var = sum((x - right_mean) ** 2 for x in right) / (n2 - 1)
+        standard_error = math.sqrt(left_var / n1 + right_var / n2)
+        if standard_error == 0.0:
+            # Degenerate (zero-variance) metric: the test statistic is
+            # undefined and exact equality would be too strict across
+            # random-stream layouts — fall back to the relative tolerance.
+            passed = relative_difference <= relative_tolerance
+            detail = (
+                f"scalar {left_mean:.4f} vs vector {right_mean:.4f} "
+                f"(zero variance; relative diff {relative_difference:.3f}, "
+                f"tolerance {relative_tolerance})"
+            )
+        else:
+            z = (left_mean - right_mean) / standard_error
+            p_value = math.erfc(abs(z) / math.sqrt(2.0))
+            passed = p_value > mean_alpha
+            detail = (
+                f"scalar {left_mean:.4f} vs vector {right_mean:.4f} "
+                f"(z={z:.2f}, p={p_value:.4f}, alpha={mean_alpha}, "
+                f"n={n1}/{n2})"
+            )
+    else:
+        passed = relative_difference <= relative_tolerance
+        detail = (
+            f"scalar {left_mean:.4f} vs vector {right_mean:.4f} "
+            f"(relative diff {relative_difference:.3f}, "
+            f"tolerance {relative_tolerance})"
+        )
+    return MetricComparison(
+        metric=metric, method="welch-z", passed=passed, detail=detail
+    )
+
+
+# ---------------------------------------------------------------------------
+# Convenience: run both backends on the same specs and compare
+# ---------------------------------------------------------------------------
+
+
+def verify_vector_equivalence(
+    specs: Sequence,
+    *,
+    alpha: float = 0.001,
+    mean_alpha: float = 0.002,
+    relative_tolerance: float = 0.15,
+) -> EquivalenceReport:
+    """Run ``specs`` through both engines and compare the results.
+
+    ``specs`` must all be replications of one vectorizable configuration
+    (same protocol/adversary/options, varying seed) — the shape produced by
+    one :class:`~repro.experiments.plan.SweepPlan` group.  The serial side
+    is the reference scalar engine; the vector side runs the same seeds
+    through one lockstep batch.  Also asserts the vector side's stronger
+    determinism contract: a second vector run must be bit-identical.
+    """
+    from repro.exec.backends import SerialBackend
+    from repro.sim.vector import VectorSimulator
+
+    specs = list(specs)
+    for spec in specs:
+        reason = spec.vector_support()
+        if reason is not None:
+            raise ValueError(f"spec cannot vectorize: {reason}")
+    scalar_results = SerialBackend().run(specs)
+    vector_results = VectorSimulator.from_specs(specs).run()
+    report = compare_result_sets(
+        scalar_results,
+        vector_results,
+        alpha=alpha,
+        mean_alpha=mean_alpha,
+        relative_tolerance=relative_tolerance,
+    )
+    repeat = VectorSimulator.from_specs(specs).run()
+    deterministic = all(
+        first.collector.backlog_series == second.collector.backlog_series
+        and [(p.packet_id, p.departure_slot, p.sends) for p in first.packets]
+        == [(p.packet_id, p.departure_slot, p.sends) for p in second.packets]
+        for first, second in zip(vector_results, repeat)
+    )
+    report.comparisons.append(
+        MetricComparison(
+            metric="vector_determinism",
+            method="bit-identical-repeat",
+            passed=deterministic,
+            detail=f"{len(specs)} replications re-run and compared exactly",
+        )
+    )
+    return report

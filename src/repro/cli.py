@@ -13,7 +13,14 @@ Two subcommands:
 
     With ``--out``, each experiment also writes a JSON report
     (``<out>/<id>.json``) containing the rows, verdicts, backend description
-    and wall-clock time, so sweeps can be archived and diffed.
+    and wall-clock time, so sweeps can be archived and diffed.  With
+    ``--bench-out PATH``, a wall-clock record per experiment is merged into
+    the given BENCH JSON file (history accumulates across runs — see
+    :mod:`repro.experiments.bench`).
+
+    ``--backend vector`` batches every vectorizable replication group
+    through the lockstep numpy engine and runs the rest serially; the
+    backend description in the report shows the vectorized/fallback split.
 
 Experiment ids are case-insensitive (``e3`` and ``E3`` both work).
 """
@@ -77,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write one JSON report per experiment into DIR",
     )
+    run_parser.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "merge a wall-clock record per experiment into a BENCH JSON "
+            "file (per-experiment history accumulates across runs)"
+        ),
+    )
     return parser
 
 
@@ -120,16 +136,25 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     seeds = _parse_seeds(args.seeds, parser)
     if args.workers is not None and args.backend != "processes":
         parser.error("--workers only applies to --backend processes")
-    try:
-        backend = make_backend(
-            args.backend, workers=args.workers, cache_dir=args.cache_dir
-        )
-    except ValueError as exc:
-        parser.error(str(exc))
+
+    def build_backend():
+        try:
+            return make_backend(
+                args.backend, workers=args.workers, cache_dir=args.cache_dir
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    build_backend()  # validate the options before running anything
     out_dir = pathlib.Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     for exp_id in ids:
+        # A fresh backend per experiment keeps the counters it reports
+        # (cache hits/misses, vectorized/fallback splits) attributed to
+        # this experiment alone; the on-disk cache still persists across
+        # experiments because it is keyed by directory, not by instance.
+        backend = build_backend()
         started = time.perf_counter()
         report = ALL_EXPERIMENTS[exp_id](
             scale=args.scale, seeds=seeds, backend=backend
@@ -137,6 +162,17 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         elapsed = time.perf_counter() - started
         print(render_report(report))
         print(f"\n[{exp_id}] {elapsed:.2f}s on backend {backend.describe()}\n")
+        if args.bench_out is not None:
+            from repro.experiments.bench import record_bench
+
+            record_bench(
+                args.bench_out,
+                exp_id,
+                seconds=elapsed,
+                scale=args.scale,
+                backend=backend.describe(),
+            )
+            print(f"[{exp_id}] merged wall-clock record into {args.bench_out}")
         if out_dir is not None:
             from repro.experiments.experiments import _seeds
 

@@ -10,7 +10,12 @@ decides *how* to run it:
 * :class:`~repro.exec.backends.ProcessPoolBackend` — a multiprocessing pool
   over jobs with deterministic result ordering, for multi-core sweeps;
 * :class:`~repro.exec.cache.ResultCacheBackend` — a wrapper that memoises
-  results on disk, keyed by a stable hash of the job specification.
+  results on disk, keyed by a stable hash of the job specification;
+* :class:`~repro.exec.vector_backend.VectorBackend` — batches qualifying
+  spec groups through the lockstep numpy engine
+  (:mod:`repro.sim.vector`) and falls back serially for the rest.
+  Vectorized results are statistically equivalent to serial results, not
+  bit-identical (different random-stream layout).
 
 Replicates of an experiment sweep are independent executions (separate
 seeds, separate adversaries), so they are embarrassingly parallel; backends
@@ -27,8 +32,9 @@ from repro.exec.backends import (
     execute_job,
 )
 from repro.exec.cache import ResultCacheBackend
+from repro.exec.vector_backend import VectorBackend
 
-BACKEND_NAMES = ("serial", "processes")
+BACKEND_NAMES = ("serial", "processes", "vector")
 
 
 def make_backend(
@@ -46,6 +52,8 @@ def make_backend(
         backend: ExecutionBackend = SerialBackend()
     elif name == "processes":
         backend = ProcessPoolBackend(workers=workers)
+    elif name == "vector":
+        backend = VectorBackend()
     else:
         raise ValueError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")
     if cache_dir is not None:
@@ -60,6 +68,7 @@ __all__ = [
     "ProcessPoolBackend",
     "ResultCacheBackend",
     "SerialBackend",
+    "VectorBackend",
     "execute_job",
     "make_backend",
 ]

@@ -71,6 +71,19 @@ class ExecutionBackend(abc.ABC):
     def run(self, jobs: Sequence[RunJob]) -> list[SimulationResult]:
         """Execute every job and return their results in job order."""
 
+    def result_layout(self, job: RunJob) -> str | None:
+        """Identity namespace of the result this backend produces for ``job``.
+
+        ``"scalar"`` is the reference layout: serial and process-pool
+        executions are bit-identical, so their results are interchangeable
+        under one cache key.  A backend whose result for a job is *not* a
+        deterministic function of the job alone (e.g. the vector backend,
+        whose coin layout depends on the batch it groups the job into)
+        returns ``None``, which tells the result cache the job has no
+        stable identity and must never be cached or served from cache.
+        """
+        return "scalar"
+
     def describe(self) -> dict[str, Any]:
         """A JSON-friendly snapshot of the backend configuration."""
         return {"backend": self.name}

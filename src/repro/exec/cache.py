@@ -9,7 +9,11 @@ execution backend and short-circuits jobs whose results are already stored.
 Only jobs that expose a stable ``cache_key()`` (notably
 :class:`~repro.experiments.plan.RunSpec`) participate; jobs without one, or
 whose key is ``None``, are always delegated to the inner backend and never
-stored, because there is no safe identity to file them under.
+stored, because there is no safe identity to file them under.  The same
+logic extends to the *result layout*: entries are filed per layout
+(``ExecutionBackend.result_layout``), so a vector-engine result is never
+served to a serial run or vice versa, and jobs whose result depends on
+batch composition (vectorized jobs) are not cached at all.
 """
 
 from __future__ import annotations
@@ -28,7 +32,11 @@ class ResultCacheBackend(ExecutionBackend):
 
     Each result is pickled to ``<cache_dir>/<cache_key>.pkl``.  Writes are
     atomic (write to a temporary file, then rename) so a crashed or
-    interrupted sweep never leaves a truncated entry behind.
+    interrupted sweep never leaves a truncated entry behind.  A corrupt or
+    unreadable entry counts as a miss, is re-run, and is overwritten with a
+    fresh result.  The ``hits``/``misses`` counters accumulate across
+    :meth:`run` calls and are included in :meth:`describe`, so run reports
+    show how much of a sweep was served from cache.
     """
 
     name = "cached"
@@ -64,21 +72,38 @@ class ResultCacheBackend(ExecutionBackend):
                     self._store(keys[index], result)
         return results  # type: ignore[return-value]
 
+    def result_layout(self, job: RunJob) -> str | None:
+        return self.inner.result_layout(job)
+
     def describe(self) -> dict[str, Any]:
         return {
             "backend": self.name,
             "cache_dir": str(self.cache_dir),
+            "hits": self.hits,
+            "misses": self.misses,
             "inner": self.inner.describe(),
         }
 
     # -- Internals -------------------------------------------------------------
 
-    @staticmethod
-    def _key_of(job: RunJob) -> str | None:
+    def _key_of(self, job: RunJob) -> str | None:
         key_method = getattr(job, "cache_key", None)
         if not callable(key_method):
             return None
-        return key_method()
+        # The cache key identifies (spec, result layout): results from the
+        # reference "scalar" layout keep the bare spec hash (so serial and
+        # process-pool runs share entries, as they are bit-identical),
+        # other layouts are namespaced, and a job with no stable result
+        # identity under the inner backend (layout None — e.g. a
+        # vectorized job, whose coins depend on its batch) is never cached
+        # or served from cache.
+        layout = self.inner.result_layout(job)
+        if layout is None:
+            return None
+        key = key_method()
+        if key is None:
+            return None
+        return key if layout == "scalar" else f"{layout}-{key}"
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"

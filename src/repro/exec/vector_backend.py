@@ -1,0 +1,128 @@
+"""The vector execution backend.
+
+:class:`VectorBackend` accepts an arbitrary batch of jobs, groups the specs
+that can vectorize by everything-but-the-seed, runs each group through one
+:class:`~repro.sim.vector.VectorSimulator` call (all replications in
+lockstep), and transparently delegates every remaining job to a fallback
+backend (serial by default).  Results always come back in job order, so the
+backend is a drop-in replacement anywhere a backend is accepted.
+
+Contract differences from the other backends:
+
+* fallback results are *identical* to what the fallback backend produces on
+  its own (it is literally the same code path);
+* vectorized results are **statistically equivalent** to serial results,
+  not bit-identical — the vector engine draws per-replication Philox
+  streams instead of per-packet ``random.Random`` streams.  Repeated
+  ``VectorBackend`` runs of the same batch are bit-identical.  See
+  ``repro.analysis.equivalence`` for the checking harness.
+
+Only jobs that declare their vectorizability (``vector_support()``, i.e.
+:class:`~repro.experiments.plan.RunSpec`) are eligible; opaque jobs such as
+:class:`~repro.exec.backends.ConfigJob` always take the fallback path.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Sequence
+
+from repro.exec.backends import ExecutionBackend, RunJob, SerialBackend
+from repro.sim.results import SimulationResult
+
+
+@functools.lru_cache(maxsize=4096)
+def _cached_group_key(job: Any) -> Any | None:
+    """Hashable everything-but-the-seed identity, or ``None`` to fall back.
+
+    ``vector_support`` builds the spec's adversary to introspect it, and
+    both the result cache (via ``result_layout``) and the backend's own
+    grouping probe every job — memoising by the (frozen, hashable) spec
+    avoids rebuilding the same adversary several times per job per run.
+    """
+    if job.vector_support() is not None:
+        return None
+    return (job.protocol, job.adversary, job.max_slots, job.stop_when_drained)
+
+
+class VectorBackend(ExecutionBackend):
+    """Vectorizes qualifying spec groups; falls back serially otherwise.
+
+    Parameters
+    ----------
+    fallback:
+        Backend used for jobs the vector engine cannot run (defaults to
+        :class:`SerialBackend`).
+
+    The counters ``vectorized_jobs``, ``fallback_jobs``, and
+    ``vector_groups`` accumulate across :meth:`run` calls (like the result
+    cache's hit/miss counters) and are included in :meth:`describe`, so run
+    reports show how much of a sweep actually vectorized.
+    """
+
+    name = "vector"
+
+    def __init__(self, fallback: ExecutionBackend | None = None) -> None:
+        self.fallback = fallback or SerialBackend()
+        self.vectorized_jobs = 0
+        self.fallback_jobs = 0
+        self.vector_groups = 0
+
+    def run(self, jobs: Sequence[RunJob]) -> list[SimulationResult]:
+        from repro.sim.vector import VectorSimulator
+
+        jobs = list(jobs)
+        results: list[SimulationResult | None] = [None] * len(jobs)
+        groups: dict[Any, list[int]] = {}
+        fallback_indices: list[int] = []
+        for index, job in enumerate(jobs):
+            key = self._group_key(job)
+            if key is None:
+                fallback_indices.append(index)
+            else:
+                groups.setdefault(key, []).append(index)
+        for indices in groups.values():
+            batch = VectorSimulator.from_specs([jobs[index] for index in indices])
+            for index, result in zip(indices, batch.run()):
+                results[index] = result
+        if fallback_indices:
+            fresh = self.fallback.run([jobs[index] for index in fallback_indices])
+            for index, result in zip(fallback_indices, fresh):
+                results[index] = result
+        self.vectorized_jobs += len(jobs) - len(fallback_indices)
+        self.fallback_jobs += len(fallback_indices)
+        self.vector_groups += len(groups)
+        return results  # type: ignore[return-value]
+
+    def result_layout(self, job: RunJob) -> str | None:
+        """Vectorized jobs have no stable per-job result identity.
+
+        A vectorized job's coins depend on the batch it is grouped into
+        (the coin-block geometry is a function of the replication count),
+        so the result cache must not file it under the job's own key —
+        and a scalar-layout cache entry must never be served to it.
+        Fallback jobs inherit the fallback backend's layout.
+        """
+        if self._group_key(job) is not None:
+            return None
+        return self.fallback.result_layout(job)
+
+    @staticmethod
+    def _group_key(job: RunJob) -> Any | None:
+        if not callable(getattr(job, "vector_support", None)):
+            return None
+        try:
+            # The lru_cache hashes the job, which also guarantees the
+            # derived key tuple is hashable.
+            return _cached_group_key(job)
+        except (AttributeError, TypeError):
+            return None
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "backend": self.name,
+            "vectorized_jobs": self.vectorized_jobs,
+            "fallback_jobs": self.fallback_jobs,
+            "vector_groups": self.vector_groups,
+            "fallback": self.fallback.describe(),
+        }

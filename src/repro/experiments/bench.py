@@ -1,0 +1,98 @@
+"""Merging wall-clock benchmark records.
+
+One JSON file maps experiment ids to their timing history::
+
+    {
+      "E1": {
+        "latest":  {"seconds": 3.2, "scale": "default", ...},
+        "history": [{...}, {...}]
+      }
+    }
+
+:func:`record_bench` *merges* into the file — other experiments' entries are
+preserved and each experiment's history accumulates — so repeated runs build
+a perf trajectory instead of overwriting it.  Both the benchmark suite
+(``benchmarks/conftest.py``) and the CLI's ``--bench-out`` flag write
+through this function, so the artifacts have one schema.
+
+Older files that stored a bare ``{"seconds": ..., "scale": ...}`` per
+experiment are migrated in place on the first merge.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+
+def _load(path: Path) -> dict[str, Any]:
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def _migrate(entry: Any) -> dict[str, Any]:
+    """Normalise an entry to the ``{"latest": ..., "history": [...]}`` shape."""
+    if isinstance(entry, dict) and "history" in entry:
+        history = entry.get("history")
+        return {
+            "latest": entry.get("latest"),
+            "history": list(history) if isinstance(history, list) else [],
+        }
+    if isinstance(entry, dict) and entry:
+        # Legacy shape: the entry itself was the one-and-only record.
+        return {"latest": entry, "history": [entry]}
+    return {"latest": None, "history": []}
+
+
+def record_bench(
+    path: str | os.PathLike[str],
+    exp_id: str,
+    *,
+    seconds: float,
+    scale: str,
+    backend: dict[str, Any] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Merge one timing record into ``path`` and return the record.
+
+    ``backend`` is the executing backend's ``describe()`` snapshot;
+    ``extra`` holds free-form caller fields (replicate counts, speedups…).
+    """
+    bench_path = Path(path)
+    record: dict[str, Any] = {
+        "seconds": round(seconds, 4),
+        "scale": scale,
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+    if backend is not None:
+        record["backend"] = backend
+    if extra:
+        record.update(extra)
+    data = _load(bench_path)
+    entry = _migrate(data.get(exp_id))
+    entry["latest"] = record
+    entry["history"].append(record)
+    data[exp_id] = entry
+    bench_path.parent.mkdir(parents=True, exist_ok=True)
+    # Atomic replace (same pattern as the result cache): a reader or a
+    # crash mid-write never observes a torn file, which matters because a
+    # torn file would be silently reset to {} on the next merge — losing
+    # the accumulated history this module exists to preserve.  Concurrent
+    # writers can still lose each other's single newest record (last
+    # rename wins), but never the file.
+    temporary = bench_path.with_suffix(f".tmp.{os.getpid()}")
+    temporary.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    temporary.replace(bench_path)
+    return record

@@ -127,6 +127,20 @@ class RunSpec:
             collect_potential=self.collect_potential,
         )
 
+    def vector_support(self) -> str | None:
+        """Why this spec cannot vectorize, or ``None`` if it can.
+
+        The :class:`~repro.exec.vector_backend.VectorBackend` batches specs
+        for which this returns ``None`` (grouped by everything but the
+        seed) through the lockstep engine and runs the rest on its fallback
+        backend.  The answer depends only on the spec's declarative content
+        — protocol type, adversary composition, and engine options — so a
+        plan can be partitioned before anything runs.
+        """
+        from repro.sim.vector.support import vector_support
+
+        return vector_support(self)
+
     def cache_key(self) -> str | None:
         """Stable content hash of the spec, or ``None`` if not hashable.
 
@@ -230,6 +244,28 @@ class SweepPlan:
         backend = backend or SerialBackend()
         results = backend.run(self._specs)
         return PlanResults(self, results)
+
+    def vector_summary(self) -> dict[str, Any]:
+        """How much of the plan the vector backend could batch.
+
+        Groups share one spec per seed, so a group either vectorizes
+        entirely or not at all; the summary maps each non-vectorizable
+        group id to its reason.
+        """
+        reasons: dict[int, str] = {}
+        vectorizable_specs = 0
+        for group in self._groups:
+            spec = self._specs[group.spec_indices[0]]
+            reason = spec.vector_support()
+            if reason is None:
+                vectorizable_specs += len(group.spec_indices)
+            else:
+                reasons[group.group_id] = reason
+        return {
+            "total_specs": len(self._specs),
+            "vectorizable_specs": vectorizable_specs,
+            "fallback_groups": reasons,
+        }
 
 
 @dataclass

@@ -75,6 +75,14 @@ class BackoffProtocol(abc.ABC):
     #: experiment reports).
     name: str = "abstract"
 
+    #: Whether :mod:`repro.sim.vector` ships a batched (numpy) kernel for
+    #: this protocol.  Deliberately a plain class attribute (not a dataclass
+    #: field) so frozen protocol dataclasses inherit it without it entering
+    #: their __init__/__eq__.  The vector engine additionally requires an
+    #: exact type match, so subclasses that override behaviour do not
+    #: silently inherit a kernel that no longer describes them.
+    vectorizable = False
+
     @abc.abstractmethod
     def new_packet_state(self) -> PacketState:
         """Create fresh state for a newly injected packet."""

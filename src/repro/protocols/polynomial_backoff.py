@@ -66,6 +66,7 @@ class PolynomialBackoff(BackoffProtocol):
     degree: float = 2.0
 
     name: str = "polynomial"
+    vectorizable = True
 
     def __post_init__(self) -> None:
         if self.initial_window < 1.0:

@@ -1,0 +1,39 @@
+"""Vectorized batch simulation.
+
+One :class:`VectorSimulator` runs every replication of one ``(protocol,
+adversary)`` configuration in lockstep over ``(replications × packets)``
+numpy arrays, turning a batch of scalar executions into a single pass of
+array operations per slot.  :mod:`repro.sim.vector.support` decides which
+configurations qualify; everything else runs on the scalar
+:class:`~repro.sim.engine.Simulator` (the
+:class:`~repro.exec.vector_backend.VectorBackend` handles that fallback
+transparently).
+
+Vector results agree with scalar results statistically, not bit-for-bit:
+the engines draw from differently shaped random streams (per-replication
+Philox here, per-packet ``random.Random`` there).  Repeated vector runs of
+the same batch are bit-identical.  ``repro.analysis.equivalence`` provides
+the statistical-agreement harness.
+"""
+
+from repro.sim.vector.engine import VectorSimulator
+from repro.sim.vector.support import (
+    VECTOR_ARRIVALS,
+    VECTOR_JAMMERS,
+    VECTOR_PROTOCOLS,
+    adversary_support,
+    config_support,
+    protocol_support,
+    vector_support,
+)
+
+__all__ = [
+    "VECTOR_ARRIVALS",
+    "VECTOR_JAMMERS",
+    "VECTOR_PROTOCOLS",
+    "VectorSimulator",
+    "adversary_support",
+    "config_support",
+    "protocol_support",
+    "vector_support",
+]

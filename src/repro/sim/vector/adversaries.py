@@ -1,0 +1,275 @@
+"""Batched arrival schedules and jamming kernels.
+
+Oblivious arrival processes never observe the system, so their entire
+schedule is a function of the slot index (and, for Poisson traffic, private
+coins): the vector engine precomputes it one *chunk* of slots at a time as a
+``(replications × chunk)`` count matrix.
+
+Jammers are one step less oblivious: budgeted strategies carry a spent
+counter and :class:`~repro.adversary.jamming.BernoulliJamming` may gate on
+whether any packet is active.  Both reduce to per-slot ``(replications,)``
+array operations against state the engine already tracks (budget counters,
+the pre-injection backlog), mirroring the scalar semantics exactly: the
+decision for slot ``t`` sees the state at the end of slot ``t − 1``, and a
+budget unit is spent only when a jam actually happens.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.adversary.arrivals import (
+    ArrivalProcess,
+    BatchArrivals,
+    NoArrivals,
+    PeriodicBurstArrivals,
+    PoissonArrivals,
+)
+from repro.adversary.jamming import (
+    BernoulliJamming,
+    BurstJamming,
+    Jammer,
+    NoJamming,
+    PeriodicJamming,
+)
+from repro.sim.vector.rng import VectorStreams
+
+#: Slots of adversary schedule precomputed per chunk.
+CHUNK_SLOTS = 512
+
+
+# ---------------------------------------------------------------------------
+# Arrival schedules
+# ---------------------------------------------------------------------------
+
+
+class VectorArrivals(abc.ABC):
+    """Chunked arrival schedule for one batch."""
+
+    def __init__(self, replications: int) -> None:
+        self.replications = replications
+
+    @abc.abstractmethod
+    def chunk(self, start: int, count: int, streams: VectorStreams) -> np.ndarray:
+        """Arrival counts for slots ``start .. start+count-1`` as ``(R, count)``."""
+
+    @abc.abstractmethod
+    def exhausted(self, slot: int) -> bool:
+        """True when no packet can arrive at ``slot`` or later (all reps)."""
+
+    def capacity_bound(self) -> int | None:
+        """Upper bound on total arrivals per replication, if known."""
+        return None
+
+
+class NoArrivalsVector(VectorArrivals):
+    def __init__(self, process: NoArrivals, replications: int) -> None:
+        super().__init__(replications)
+
+    def chunk(self, start: int, count: int, streams: VectorStreams) -> np.ndarray:
+        return np.zeros((self.replications, count), dtype=np.int64)
+
+    def exhausted(self, slot: int) -> bool:
+        return True
+
+    def capacity_bound(self) -> int:
+        return 0
+
+
+class BatchArrivalsVector(VectorArrivals):
+    def __init__(self, process: BatchArrivals, replications: int) -> None:
+        super().__init__(replications)
+        self._n = process.n
+        self._slot = process.slot
+
+    def chunk(self, start: int, count: int, streams: VectorStreams) -> np.ndarray:
+        counts = np.zeros((self.replications, count), dtype=np.int64)
+        if start <= self._slot < start + count:
+            counts[:, self._slot - start] = self._n
+        return counts
+
+    def exhausted(self, slot: int) -> bool:
+        return slot > self._slot
+
+    def capacity_bound(self) -> int:
+        return self._n
+
+
+class PeriodicBurstArrivalsVector(VectorArrivals):
+    def __init__(self, process: PeriodicBurstArrivals, replications: int) -> None:
+        super().__init__(replications)
+        self._process = process
+
+    def chunk(self, start: int, count: int, streams: VectorStreams) -> np.ndarray:
+        process = self._process
+        slots = np.arange(start, start + count)
+        offsets = slots - process.start
+        burst = (offsets >= 0) & (offsets % process.period == 0)
+        if process.num_bursts is not None:
+            burst &= (offsets // process.period) < process.num_bursts
+        row = np.where(burst, process.burst_size, 0).astype(np.int64)
+        return np.broadcast_to(row, (self.replications, count)).copy()
+
+    def exhausted(self, slot: int) -> bool:
+        return self._process.exhausted(slot)
+
+    def capacity_bound(self) -> int | None:
+        return self._process.total_planned()
+
+
+class PoissonArrivalsVector(VectorArrivals):
+    def __init__(self, process: PoissonArrivals, replications: int) -> None:
+        super().__init__(replications)
+        self._rate = process.rate
+        self._horizon = process.horizon
+
+    def chunk(self, start: int, count: int, streams: VectorStreams) -> np.ndarray:
+        counts = np.empty((self.replications, count), dtype=np.int64)
+        for index, generator in enumerate(streams.adversary_generators):
+            counts[index] = generator.poisson(self._rate, count)
+        if self._horizon is not None and start + count > self._horizon:
+            cutoff = max(0, self._horizon - start)
+            counts[:, cutoff:] = 0
+        if self._rate == 0.0:
+            counts[:] = 0
+        return counts
+
+    def exhausted(self, slot: int) -> bool:
+        return self._horizon is not None and slot >= self._horizon
+
+
+# ---------------------------------------------------------------------------
+# Jamming kernels
+# ---------------------------------------------------------------------------
+
+
+class VectorJammer(abc.ABC):
+    """Per-slot jamming decisions for one batch, with budget bookkeeping."""
+
+    #: True when :meth:`jam` can never return a jammed slot (lets the
+    #: engine skip the jam masks entirely on the common unjammed path).
+    never_jams: bool = False
+
+    def __init__(self, jammer: Jammer, replications: int) -> None:
+        self.replications = replications
+        budget = getattr(jammer, "budget", None)
+        self._budget = budget
+        self._used = np.zeros(replications, dtype=np.int64)
+        self._false = np.zeros(replications, dtype=bool)
+
+    def begin_chunk(self, start: int, count: int, streams: VectorStreams) -> None:
+        """Draw whatever randomness the next ``count`` slots need."""
+
+    @abc.abstractmethod
+    def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
+        """Jamming decisions ``(R,)`` for ``slot``; spends the budget.
+
+        ``backlog_pre`` is the backlog *before* this slot's injections (the
+        state an adaptive jammer sees); ``running`` masks replications whose
+        execution already ended, which therefore make no decisions at all.
+        """
+
+    def jams_used(self) -> np.ndarray:
+        return self._used.copy()
+
+    def _apply_budget(self, decisions: np.ndarray) -> np.ndarray:
+        if self._budget is not None:
+            decisions &= self._used < self._budget
+        self._used += decisions
+        return decisions
+
+
+class NoJammingVector(VectorJammer):
+    never_jams = True
+
+    def __init__(self, jammer: NoJamming, replications: int) -> None:
+        super().__init__(jammer, replications)
+
+    def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
+        return self._false
+
+
+class PeriodicJammingVector(VectorJammer):
+    def __init__(self, jammer: PeriodicJamming, replications: int) -> None:
+        super().__init__(jammer, replications)
+        self._period = jammer.period
+        self._offset = jammer.offset
+
+    def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
+        if slot < self._offset or (slot - self._offset) % self._period != 0:
+            return self._false
+        return self._apply_budget(running.copy())
+
+
+class BurstJammingVector(VectorJammer):
+    def __init__(self, jammer: BurstJamming, replications: int) -> None:
+        super().__init__(jammer, replications)
+        self._start = jammer.start
+        self._length = jammer.length
+        self._period = jammer.period
+
+    def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
+        if slot < self._start:
+            return self._false
+        offset = slot - self._start
+        in_burst = (
+            (offset % self._period) < self._length if self._period else offset < self._length
+        )
+        if not in_burst:
+            return self._false
+        return self._apply_budget(running.copy())
+
+
+class BernoulliJammingVector(VectorJammer):
+    def __init__(self, jammer: BernoulliJamming, replications: int) -> None:
+        super().__init__(jammer, replications)
+        self._probability = jammer.probability
+        self._only_active = jammer.only_active
+        self._chunk_start = 0
+        self._uniforms: np.ndarray | None = None
+
+    def begin_chunk(self, start: int, count: int, streams: VectorStreams) -> None:
+        uniforms = np.empty((self.replications, count), dtype=np.float64)
+        for index, generator in enumerate(streams.adversary_generators):
+            uniforms[index] = generator.random(count)
+        self._uniforms = uniforms
+        self._chunk_start = start
+
+    def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
+        assert self._uniforms is not None, "begin_chunk must precede jam"
+        draws = self._uniforms[:, slot - self._chunk_start] < self._probability
+        decisions = draws & running
+        if self._only_active:
+            decisions &= backlog_pre > 0
+        return self._apply_budget(decisions)
+
+
+# ---------------------------------------------------------------------------
+# Factories
+# ---------------------------------------------------------------------------
+
+
+def make_arrivals_kernel(process: ArrivalProcess, replications: int) -> VectorArrivals:
+    if isinstance(process, NoArrivals):
+        return NoArrivalsVector(process, replications)
+    if isinstance(process, BatchArrivals):
+        return BatchArrivalsVector(process, replications)
+    if isinstance(process, PoissonArrivals):
+        return PoissonArrivalsVector(process, replications)
+    if isinstance(process, PeriodicBurstArrivals):
+        return PeriodicBurstArrivalsVector(process, replications)
+    raise TypeError(f"no vector schedule for arrival process {type(process).__name__}")
+
+
+def make_jammer_kernel(jammer: Jammer, replications: int) -> VectorJammer:
+    if isinstance(jammer, NoJamming):
+        return NoJammingVector(jammer, replications)
+    if isinstance(jammer, PeriodicJamming):
+        return PeriodicJammingVector(jammer, replications)
+    if isinstance(jammer, BurstJamming):
+        return BurstJammingVector(jammer, replications)
+    if isinstance(jammer, BernoulliJamming):
+        return BernoulliJammingVector(jammer, replications)
+    raise TypeError(f"no vector kernel for jammer {type(jammer).__name__}")

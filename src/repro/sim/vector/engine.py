@@ -1,0 +1,390 @@
+"""The lockstep batch simulation engine.
+
+:class:`VectorSimulator` runs *every replication of one configuration at
+once*: packet protocol state, send decisions, channel resolution, ternary
+feedback, and metric accumulation are all held as ``(replications ×
+packets)`` numpy arrays, and one pass over the slot loop advances the whole
+batch.  The per-slot cost is a fixed number of array operations, so the
+interpreter overhead that dominates the scalar engine is paid once per slot
+instead of once per packet per replication.
+
+The engine reproduces the scalar engine's slot semantics exactly (same
+decision order, same channel rules, same metric definitions, same
+stop-when-drained condition) but draws its randomness from per-replication
+Philox streams instead of per-packet ``random.Random`` streams.  Vector
+results therefore agree with scalar results *statistically* — same Markov
+chain, different coins — while repeated vector runs of the same batch are
+bit-identical (see ``repro.analysis.equivalence`` for the checking
+harness).
+
+Outcome codes used internally: 0 empty, 1 success, 2 collision, 3 jammed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.adversary.arrivals import ArrivalProcess
+from repro.adversary.composite import CompositeAdversary
+from repro.adversary.jamming import Jammer
+from repro.metrics.collectors import MetricsCollector
+from repro.protocols.base import BackoffProtocol
+from repro.sim.results import PacketRecord, SimulationResult
+from repro.sim.vector.adversaries import (
+    CHUNK_SLOTS,
+    make_arrivals_kernel,
+    make_jammer_kernel,
+)
+from repro.sim.vector.protocols import make_protocol_kernel
+from repro.sim.vector.rng import CoinBlocks, VectorStreams
+from repro.sim.vector.support import adversary_support, protocol_support
+
+
+class _SlotRecorder:
+    """Growable ``(slots × replications)`` per-slot observation buffers."""
+
+    def __init__(self, replications: int, initial_slots: int = 1024) -> None:
+        self._replications = replications
+        self._capacity = max(1, initial_slots)
+        self.outcome = np.zeros((self._capacity, replications), dtype=np.int8)
+        self.jammed = np.zeros((self._capacity, replications), dtype=bool)
+        self.arrivals = np.zeros((self._capacity, replications), dtype=np.int32)
+        self.active_before = np.zeros((self._capacity, replications), dtype=np.int32)
+        self.active_after = np.zeros((self._capacity, replications), dtype=np.int32)
+        self.num_senders = np.zeros((self._capacity, replications), dtype=np.int32)
+
+    def _grow(self, needed: int) -> None:
+        new_capacity = max(needed, self._capacity * 2)
+        for name in (
+            "outcome", "jammed", "arrivals", "active_before", "active_after", "num_senders"
+        ):
+            old = getattr(self, name)
+            grown = np.zeros((new_capacity, self._replications), dtype=old.dtype)
+            grown[: self._capacity] = old
+            setattr(self, name, grown)
+        self._capacity = new_capacity
+
+    def record(
+        self,
+        slot: int,
+        outcome: np.ndarray,
+        jammed: np.ndarray,
+        arrivals: np.ndarray,
+        active_before: np.ndarray,
+        active_after: np.ndarray,
+        num_senders: np.ndarray,
+    ) -> None:
+        if slot >= self._capacity:
+            self._grow(slot + 1)
+        self.outcome[slot] = outcome
+        self.jammed[slot] = jammed
+        self.arrivals[slot] = arrivals
+        self.active_before[slot] = active_before
+        self.active_after[slot] = active_after
+        self.num_senders[slot] = num_senders
+
+
+class VectorSimulator:
+    """Runs a batch of replications of one configuration in lockstep.
+
+    Parameters
+    ----------
+    protocol, arrival_process, jammer:
+        One supported configuration (see :mod:`repro.sim.vector.support`);
+        the instances are read for their parameters only and never mutated.
+    seeds:
+        One master seed per replication.  Replications are independent; a
+        batch's output is a deterministic function of this list.
+    max_slots, stop_when_drained:
+        Same meaning as on :class:`~repro.sim.config.SimulationConfig`.
+    config_descriptions:
+        Optional per-replication ``config_description`` dicts to embed in
+        the results (defaults to a description assembled from the parts).
+    """
+
+    def __init__(
+        self,
+        protocol: BackoffProtocol,
+        arrival_process: ArrivalProcess,
+        jammer: Jammer,
+        seeds: Sequence[int],
+        *,
+        max_slots: int = 200_000,
+        stop_when_drained: bool = True,
+        config_descriptions: Sequence[dict[str, Any]] | None = None,
+    ) -> None:
+        if not seeds:
+            raise ValueError("at least one replication seed is required")
+        if max_slots <= 0:
+            raise ValueError("max_slots must be positive")
+        reason = protocol_support(protocol)
+        if reason is None:
+            reason = adversary_support(CompositeAdversary(arrival_process, jammer))
+        if reason is not None:
+            raise ValueError(f"configuration cannot vectorize: {reason}")
+        self._protocol = protocol
+        self._arrival_process = arrival_process
+        self._jammer = jammer
+        self._seeds = [int(seed) for seed in seeds]
+        self._max_slots = max_slots
+        self._stop_when_drained = stop_when_drained
+        if config_descriptions is not None:
+            if len(config_descriptions) != len(self._seeds):
+                raise ValueError("need one config description per seed")
+            self._descriptions = list(config_descriptions)
+        else:
+            self._descriptions = [
+                self._default_description(seed) for seed in self._seeds
+            ]
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[Any]) -> "VectorSimulator":
+        """Build a batch from :class:`~repro.experiments.plan.RunSpec` items.
+
+        All specs must share everything but the seed (which is exactly what
+        :meth:`~repro.exec.vector_backend.VectorBackend` groups by).
+        """
+        if not specs:
+            raise ValueError("at least one spec is required")
+        configs = [spec.build_config() for spec in specs]
+        first = configs[0]
+        adversary = first.adversary
+        if not isinstance(adversary, CompositeAdversary):
+            raise ValueError("vector batches require a CompositeAdversary")
+        for config in configs[1:]:
+            if (
+                config.protocol != first.protocol
+                or config.adversary.describe() != first.adversary.describe()
+                or config.max_slots != first.max_slots
+                or config.stop_when_drained != first.stop_when_drained
+                or config.collect_trace
+                or config.collect_potential
+            ):
+                raise ValueError(
+                    "a vector batch must replicate one configuration: all "
+                    "specs must share the protocol, adversary, and engine "
+                    "options, differing only in seed"
+                )
+        return cls(
+            first.protocol,
+            adversary.arrival_process,
+            adversary.jammer,
+            [config.seed for config in configs],
+            max_slots=first.max_slots,
+            stop_when_drained=first.stop_when_drained,
+            config_descriptions=[config.describe() for config in configs],
+        )
+
+    def _default_description(self, seed: int) -> dict[str, Any]:
+        adversary = CompositeAdversary(self._arrival_process, self._jammer)
+        return {
+            "protocol": self._protocol.describe(),
+            "adversary": adversary.describe(),
+            "seed": seed,
+            "max_slots": self._max_slots,
+            "stop_when_drained": self._stop_when_drained,
+            "collect_trace": False,
+            "collect_potential": False,
+        }
+
+    # -- Execution -----------------------------------------------------------
+
+    def run(self) -> list[SimulationResult]:
+        """Simulate every replication and return results in seed order."""
+        replications = len(self._seeds)
+        max_slots = self._max_slots
+        streams = VectorStreams(self._seeds)
+        arrivals = make_arrivals_kernel(self._arrival_process, replications)
+        jammer = make_jammer_kernel(self._jammer, replications)
+
+        bound = arrivals.capacity_bound()
+        capacity = max(1, bound if bound is not None else 64)
+        kernel = make_protocol_kernel(self._protocol, replications, capacity)
+        coins = CoinBlocks(streams, capacity)
+
+        active = np.zeros((replications, capacity), dtype=bool)
+        arrival_slot = np.full((replications, capacity), -1, dtype=np.int64)
+        departure_slot = np.full((replications, capacity), -1, dtype=np.int64)
+        sends = np.zeros((replications, capacity), dtype=np.int64)
+        cols = np.arange(capacity)
+
+        injected = np.zeros(replications, dtype=np.int64)
+        backlog = np.zeros(replications, dtype=np.int64)
+        running = np.ones(replications, dtype=bool)
+        num_slots = np.full(replications, max_slots, dtype=np.int64)
+        recorder = _SlotRecorder(replications)
+
+        stop_when_drained = self._stop_when_drained
+        live = replications
+        if stop_when_drained and arrivals.exhausted(0):
+            # Nothing will ever arrive: every replication drains at slot 0.
+            running[:] = False
+            num_slots[:] = 0
+            live = 0
+
+        chunk_start = 0
+        chunk_end = 0
+        arrivals_chunk: np.ndarray | None = None
+        slot_has_arrivals: list[bool] = []
+        no_arrivals = np.zeros(replications, dtype=np.int64)
+        send_buffer = np.empty((replications, capacity), dtype=bool)
+        never_jams = jammer.never_jams
+
+        slot = 0
+        while slot < max_slots and live:
+            if slot >= chunk_end:
+                chunk_start = slot
+                chunk_end = min(slot + CHUNK_SLOTS, max_slots)
+                count = chunk_end - chunk_start
+                arrivals_chunk = arrivals.chunk(chunk_start, count, streams)
+                slot_has_arrivals = arrivals_chunk.any(axis=0).tolist()
+                jammer.begin_chunk(chunk_start, count, streams)
+            assert arrivals_chunk is not None
+
+            backlog_pre = backlog
+            if slot_has_arrivals[slot - chunk_start]:
+                arriving = arrivals_chunk[:, slot - chunk_start] * running
+                total_after = injected + arriving
+                needed = int(total_after.max())
+                if needed > capacity:
+                    capacity = max(needed, capacity * 2)
+                    grown = (
+                        np.zeros((replications, capacity), dtype=bool),
+                        np.full((replications, capacity), -1, dtype=np.int64),
+                        np.full((replications, capacity), -1, dtype=np.int64),
+                        np.zeros((replications, capacity), dtype=np.int64),
+                    )
+                    for old, new in zip(
+                        (active, arrival_slot, departure_slot, sends), grown
+                    ):
+                        new[:, : old.shape[1]] = old
+                    active, arrival_slot, departure_slot, sends = grown
+                    cols = np.arange(capacity)
+                    kernel.grow(capacity)
+                    coins.resize(capacity)
+                    send_buffer = np.empty((replications, capacity), dtype=bool)
+                newly = (cols >= injected[:, None]) & (cols < total_after[:, None])
+                active |= newly
+                arrival_slot[newly] = slot
+                kernel.init_packets(newly)
+                injected = total_after
+                backlog = backlog + arriving
+            else:
+                arriving = no_arrivals
+
+            active_before = backlog
+            jammed = jammer.jam(slot, backlog_pre, running)
+
+            send = np.less(
+                coins.coins(slot, running), kernel.probabilities, out=send_buffer
+            )
+            send &= active
+            num_senders = np.count_nonzero(send, axis=1)
+            total_senders = int(num_senders.sum())
+            if never_jams:
+                winners = running & (num_senders == 1)
+            else:
+                winners = running & ~jammed & (num_senders == 1)
+            sends += send
+
+            winner_rows = np.nonzero(winners)[0]
+            if winner_rows.size:
+                winner_cols = np.argmax(send[winner_rows], axis=1)
+                active[winner_rows, winner_cols] = False
+                departure_slot[winner_rows, winner_cols] = slot
+                # The remaining senders are the losers of the slot.
+                send[winner_rows, winner_cols] = False
+            if total_senders > winner_rows.size:
+                kernel.on_unsuccessful_send(send)
+            backlog = backlog - winners
+
+            outcome = (num_senders > 0).astype(np.int8)
+            outcome += outcome
+            outcome -= winners
+            if not never_jams:
+                outcome[jammed] = 3
+            recorder.record(
+                slot, outcome, jammed, arriving, active_before, backlog, num_senders
+            )
+
+            slot += 1
+            if stop_when_drained and arrivals.exhausted(slot):
+                finished = running & (backlog == 0)
+                if finished.any():
+                    num_slots[finished] = slot
+                    running &= ~finished
+                    live = int(np.count_nonzero(running))
+
+        return self._finalize(
+            recorder, num_slots, backlog, arrivals, injected,
+            arrival_slot, departure_slot, sends,
+        )
+
+    # -- Finalisation --------------------------------------------------------
+
+    def _finalize(
+        self,
+        recorder: _SlotRecorder,
+        num_slots: np.ndarray,
+        backlog: np.ndarray,
+        arrivals: Any,
+        injected: np.ndarray,
+        arrival_slot: np.ndarray,
+        departure_slot: np.ndarray,
+        sends: np.ndarray,
+    ) -> list[SimulationResult]:
+        results = []
+        for index, seed in enumerate(self._seeds):
+            slots = int(num_slots[index])
+            outcome = recorder.outcome[:slots, index]
+            jammed = recorder.jammed[:slots, index]
+            arriving = recorder.arrivals[:slots, index]
+            active_before = recorder.active_before[:slots, index]
+            active_after = recorder.active_after[:slots, index]
+            num_senders = recorder.num_senders[:slots, index]
+            was_active = active_before > 0
+
+            collector = MetricsCollector(collect_series=True)
+            collector.num_slots = slots
+            collector.num_arrivals = int(arriving.sum())
+            collector.num_successes = int((outcome == 1).sum())
+            collector.num_collisions = int((outcome == 2).sum())
+            collector.num_empty_active = int(((outcome == 0) & was_active).sum())
+            collector.num_jammed = int(jammed.sum())
+            collector.num_jammed_active = int((jammed & was_active).sum())
+            collector.num_active_slots = int(was_active.sum())
+            collector.total_sends = int(num_senders.sum())
+            collector.total_listens = 0
+            collector.backlog_series = active_after.tolist()
+            collector.cumulative_arrivals = np.cumsum(arriving).tolist()
+            collector.cumulative_successes = np.cumsum(outcome == 1).tolist()
+            collector.cumulative_jammed_active = np.cumsum(jammed & was_active).tolist()
+            collector.cumulative_active_slots = np.cumsum(was_active).tolist()
+
+            packets = []
+            for packet_id in range(int(injected[index])):
+                departed_at = int(departure_slot[index, packet_id])
+                packets.append(
+                    PacketRecord(
+                        packet_id=packet_id,
+                        arrival_slot=int(arrival_slot[index, packet_id]),
+                        departure_slot=None if departed_at < 0 else departed_at,
+                        sends=int(sends[index, packet_id]),
+                        listens=0,
+                    )
+                )
+
+            results.append(
+                SimulationResult(
+                    config_description=self._descriptions[index],
+                    protocol_name=self._protocol.name,
+                    seed=seed,
+                    num_slots=slots,
+                    drained=bool(backlog[index] == 0) and arrivals.exhausted(slots),
+                    collector=collector,
+                    packets=packets,
+                )
+            )
+        return results

@@ -1,0 +1,168 @@
+"""Batched protocol kernels.
+
+A kernel holds the protocol state of *every* packet of *every* replication
+in ``(replications × packets)`` arrays and exposes the two operations the
+vector engine needs per slot:
+
+* ``probabilities`` — the current per-packet sending probability matrix
+  (maintained incrementally, so a slot touches only the cells that changed);
+* ``on_unsuccessful_send`` — the ternary-feedback update for packets that
+  sent and did not succeed (collision or jammed slot), which is the *only*
+  feedback any send-only protocol reacts to.
+
+All supported protocols are send-only (they never listen), which the engine
+relies on when it skips listener accounting entirely.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.protocols.base import BackoffProtocol
+from repro.protocols.binary_exponential import BinaryExponentialBackoff
+from repro.protocols.fixed_probability import FixedProbabilityProtocol
+from repro.protocols.polynomial_backoff import PolynomialBackoff
+
+
+class VectorProtocolKernel(abc.ABC):
+    """Lockstep protocol state for one batch."""
+
+    def __init__(self, replications: int, capacity: int) -> None:
+        self.replications = replications
+        self.capacity = capacity
+
+    @abc.abstractmethod
+    def grow(self, capacity: int) -> None:
+        """Extend the packet dimension to ``capacity`` columns."""
+
+    @abc.abstractmethod
+    def init_packets(self, newly: np.ndarray) -> None:
+        """Initialise state for freshly injected packets (boolean mask)."""
+
+    @property
+    @abc.abstractmethod
+    def probabilities(self) -> np.ndarray | float:
+        """Per-packet sending probabilities (matrix, or a scalar broadcast)."""
+
+    def on_unsuccessful_send(self, losers: np.ndarray) -> None:
+        """Feedback update for packets that sent and did not succeed."""
+
+
+class FixedProbabilityKernel(VectorProtocolKernel):
+    """Constant sending probability; feedback never changes it."""
+
+    def __init__(
+        self, protocol: FixedProbabilityProtocol, replications: int, capacity: int
+    ) -> None:
+        super().__init__(replications, capacity)
+        self._probability = float(protocol.probability)
+
+    def grow(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    def init_packets(self, newly: np.ndarray) -> None:
+        return None
+
+    @property
+    def probabilities(self) -> float:
+        return self._probability
+
+
+class BinaryExponentialKernel(VectorProtocolKernel):
+    """Window per packet; doubles (up to a cap) on every unsuccessful send."""
+
+    def __init__(
+        self, protocol: BinaryExponentialBackoff, replications: int, capacity: int
+    ) -> None:
+        super().__init__(replications, capacity)
+        self._initial_window = float(protocol.initial_window)
+        self._backoff_factor = float(protocol.backoff_factor)
+        self._max_window = protocol.max_window
+        self._window = np.full((replications, capacity), self._initial_window)
+        self._inverse = np.full((replications, capacity), 1.0 / self._initial_window)
+
+    def grow(self, capacity: int) -> None:
+        extra = capacity - self.capacity
+        if extra <= 0:
+            return
+        self._window = np.concatenate(
+            [self._window, np.full((self.replications, extra), self._initial_window)],
+            axis=1,
+        )
+        self._inverse = np.concatenate(
+            [self._inverse, np.full((self.replications, extra), 1.0 / self._initial_window)],
+            axis=1,
+        )
+        self.capacity = capacity
+
+    def init_packets(self, newly: np.ndarray) -> None:
+        self._window[newly] = self._initial_window
+        self._inverse[newly] = 1.0 / self._initial_window
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        return self._inverse
+
+    def on_unsuccessful_send(self, losers: np.ndarray) -> None:
+        grown = self._window[losers] * self._backoff_factor
+        if self._max_window is not None:
+            np.minimum(grown, self._max_window, out=grown)
+        self._window[losers] = grown
+        self._inverse[losers] = 1.0 / grown
+
+
+class PolynomialKernel(VectorProtocolKernel):
+    """Collision count per packet; window is ``w0 * (collisions+1)**degree``."""
+
+    def __init__(
+        self, protocol: PolynomialBackoff, replications: int, capacity: int
+    ) -> None:
+        super().__init__(replications, capacity)
+        self._initial_window = float(protocol.initial_window)
+        self._degree = float(protocol.degree)
+        self._collisions = np.zeros((replications, capacity), dtype=np.int64)
+        self._inverse = np.full((replications, capacity), 1.0 / self._initial_window)
+
+    def grow(self, capacity: int) -> None:
+        extra = capacity - self.capacity
+        if extra <= 0:
+            return
+        self._collisions = np.concatenate(
+            [self._collisions, np.zeros((self.replications, extra), dtype=np.int64)],
+            axis=1,
+        )
+        self._inverse = np.concatenate(
+            [self._inverse, np.full((self.replications, extra), 1.0 / self._initial_window)],
+            axis=1,
+        )
+        self.capacity = capacity
+
+    def init_packets(self, newly: np.ndarray) -> None:
+        self._collisions[newly] = 0
+        self._inverse[newly] = 1.0 / self._initial_window
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        return self._inverse
+
+    def on_unsuccessful_send(self, losers: np.ndarray) -> None:
+        bumped = self._collisions[losers] + 1
+        self._collisions[losers] = bumped
+        self._inverse[losers] = 1.0 / (
+            self._initial_window * (bumped + 1.0) ** self._degree
+        )
+
+
+def make_protocol_kernel(
+    protocol: BackoffProtocol, replications: int, capacity: int
+) -> VectorProtocolKernel:
+    """Build the kernel for a supported protocol (see ``support.py``)."""
+    if isinstance(protocol, BinaryExponentialBackoff):
+        return BinaryExponentialKernel(protocol, replications, capacity)
+    if isinstance(protocol, PolynomialBackoff):
+        return PolynomialKernel(protocol, replications, capacity)
+    if isinstance(protocol, FixedProbabilityProtocol):
+        return FixedProbabilityKernel(protocol, replications, capacity)
+    raise TypeError(f"no vector kernel for protocol {type(protocol).__name__}")

@@ -1,0 +1,116 @@
+"""Per-replication Philox streams for the vector engine.
+
+Each replication in a batch owns two counter-based Philox streams — one for
+its packets' coins, one for its adversary's coins — keyed off the
+replication's own master seed via the same SHA-256 derivation the scalar
+engine uses (:func:`repro.sim.rng.derive_seed`).  Keying per replication
+keeps replications statistically independent and makes a batch's output a
+deterministic function of its seed list: running the same batch twice is
+bit-identical.
+
+The scalar engine hands every *packet* its own ``random.Random``; the vector
+engine instead draws one ``(replications × packets)`` coin matrix per slot
+from the per-replication streams.  The two layouts produce different (but
+identically distributed) coin sequences, which is exactly why vector results
+match scalar results statistically rather than bit-for-bit.
+
+Coins are drawn in blocks of slots (amortising the per-replication Python
+loop to one generator call per block) and the block size is a deterministic
+function of the batch geometry, so the coin consumed at ``(replication,
+slot, packet)`` never depends on timing or chunk boundaries chosen at run
+time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.rng import derive_seed
+
+#: Upper bound on the per-block coin buffer, in float64 entries (~16 MiB).
+_MAX_BLOCK_ENTRIES = 2_000_000
+
+
+def block_slots(num_replications: int, capacity: int) -> int:
+    """Slots of packet coins to buffer per refill (deterministic in shape)."""
+    per_slot = max(1, num_replications * max(1, capacity))
+    return max(1, min(256, _MAX_BLOCK_ENTRIES // per_slot))
+
+
+class VectorStreams:
+    """The per-replication random streams of one vector batch."""
+
+    def __init__(self, seeds: Sequence[int]) -> None:
+        self.seeds = [int(seed) for seed in seeds]
+        self.packet_generators = [
+            np.random.Generator(np.random.Philox(key=derive_seed(seed, "vector", "packets")))
+            for seed in self.seeds
+        ]
+        self.adversary_generators = [
+            np.random.Generator(
+                np.random.Philox(key=derive_seed(seed, "vector", "adversary"))
+            )
+            for seed in self.seeds
+        ]
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+
+class CoinBlocks:
+    """Blocked ``(R, P)`` per-slot uniforms from per-replication streams.
+
+    ``coins(slot)`` returns the coin matrix for ``slot``; consecutive slots
+    read consecutive rows of a pre-drawn ``(R, block, P)`` buffer.  When the
+    packet capacity grows, the remainder of the current block is discarded
+    and a fresh block is drawn at the new width — deterministic, because
+    capacity growth itself is a deterministic function of the seeds.
+    """
+
+    def __init__(self, streams: VectorStreams, capacity: int) -> None:
+        self._streams = streams
+        self._capacity = max(1, capacity)
+        self._block: np.ndarray | None = None
+        self._block_start = 0
+        self._block_len = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def resize(self, capacity: int) -> None:
+        """Grow the packet dimension; discards the rest of the current block."""
+        if capacity <= self._capacity:
+            return
+        self._capacity = capacity
+        self._block = None
+
+    def coins(self, slot: int, running: np.ndarray | None = None) -> np.ndarray:
+        """The ``(R, capacity)`` uniform coin matrix for ``slot``.
+
+        ``running`` masks replications whose execution already ended; their
+        streams stop being consumed (and their rows hold stale coins no one
+        reads).  Because finish times are a deterministic function of the
+        seeds, skipping them keeps runs bit-reproducible.
+        """
+        if self._block is None or not (
+            self._block_start <= slot < self._block_start + self._block_len
+        ):
+            self._refill(slot, running)
+        assert self._block is not None
+        return self._block[:, slot - self._block_start, :]
+
+    def _refill(self, start_slot: int, running: np.ndarray | None) -> None:
+        replications = len(self._streams)
+        block = block_slots(replications, self._capacity)
+        if self._block is None or self._block.shape[2] != self._capacity:
+            self._block = np.empty(
+                (replications, block, self._capacity), dtype=np.float64
+            )
+        for index, generator in enumerate(self._streams.packet_generators):
+            if running is None or running[index]:
+                self._block[index] = generator.random((block, self._capacity))
+        self._block_start = start_slot
+        self._block_len = block

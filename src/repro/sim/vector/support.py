@@ -1,0 +1,132 @@
+"""Which configurations the vector engine can run.
+
+The vector engine covers the *vectorizable core*: send-only protocols whose
+per-packet state reduces to a handful of scalars, composed with oblivious
+arrival processes (whose whole schedule can be precomputed as an array) and
+jammers whose per-slot decision depends on at most the slot index, a budget
+counter, and the backlog — all of which the engine tracks as arrays.
+
+Everything else — sensing protocols (LOW-SENSING BACKOFF, full-sensing MW,
+Sawtooth), reactive or coupled adversaries, execution traces, and potential
+tracking — falls outside the lockstep model and must run on the scalar
+engine.  :func:`vector_support` answers "can this spec vectorize?" with
+``None`` (yes) or a human-readable reason (no), and the
+:class:`~repro.exec.vector_backend.VectorBackend` uses that answer to fall
+back transparently.
+
+This module deliberately avoids importing numpy, so capability checks stay
+importable (and cheap) even where the vector engine itself is never used.
+
+Eligibility is decided by an **exact type** match against the registries
+below *and* the declared ``vectorizable`` capability flag.  The flag
+documents intent on the class; the exact-type match protects against
+subclasses that override behaviour the kernels do not model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.adversary.arrivals import (
+    BatchArrivals,
+    NoArrivals,
+    PeriodicBurstArrivals,
+    PoissonArrivals,
+)
+from repro.adversary.composite import CompositeAdversary
+from repro.adversary.jamming import (
+    BernoulliJamming,
+    BurstJamming,
+    NoJamming,
+    PeriodicJamming,
+)
+from repro.protocols.binary_exponential import BinaryExponentialBackoff
+from repro.protocols.fixed_probability import FixedProbabilityProtocol, SlottedAloha
+from repro.protocols.polynomial_backoff import PolynomialBackoff
+
+#: Protocol classes with a vector kernel (exact type match).
+VECTOR_PROTOCOLS = (
+    FixedProbabilityProtocol,
+    SlottedAloha,
+    BinaryExponentialBackoff,
+    PolynomialBackoff,
+)
+
+#: Arrival-process classes with a vector schedule kernel (exact type match).
+VECTOR_ARRIVALS = (
+    NoArrivals,
+    BatchArrivals,
+    PoissonArrivals,
+    PeriodicBurstArrivals,
+)
+
+#: Jammer classes with a vector kernel (exact type match).
+VECTOR_JAMMERS = (
+    NoJamming,
+    BernoulliJamming,
+    PeriodicJamming,
+    BurstJamming,
+)
+
+
+def _eligible(instance: Any, registry: tuple[type, ...]) -> bool:
+    return type(instance) in registry and bool(getattr(instance, "vectorizable", False))
+
+
+def protocol_support(protocol: Any) -> str | None:
+    """``None`` if the protocol has a vector kernel, else the reason not."""
+    if _eligible(protocol, VECTOR_PROTOCOLS):
+        return None
+    return f"protocol {type(protocol).__name__} has no vector kernel"
+
+
+def adversary_support(adversary: Any) -> str | None:
+    """``None`` if the adversary decomposes into vectorizable parts."""
+    if not isinstance(adversary, CompositeAdversary):
+        return (
+            f"adversary {type(adversary).__name__} is not a CompositeAdversary "
+            "(coupled or custom adversaries run on the scalar engine)"
+        )
+    if getattr(adversary, "reactive", False):
+        return "reactive jammers observe the current slot's senders"
+    if not _eligible(adversary.arrival_process, VECTOR_ARRIVALS):
+        return (
+            f"arrival process {type(adversary.arrival_process).__name__} "
+            "has no vector schedule"
+        )
+    if not _eligible(adversary.jammer, VECTOR_JAMMERS):
+        return f"jammer {type(adversary.jammer).__name__} has no vector kernel"
+    return None
+
+
+def config_support(config: Any) -> str | None:
+    """``None`` if a built :class:`SimulationConfig` can vectorize."""
+    if getattr(config, "collect_trace", False):
+        return "execution traces record per-slot per-packet detail"
+    if getattr(config, "collect_potential", False):
+        return "potential tracking reads per-packet windows each slot"
+    reason = protocol_support(config.protocol)
+    if reason is not None:
+        return reason
+    return adversary_support(config.adversary)
+
+
+def vector_support(spec: Any) -> str | None:
+    """``None`` if a :class:`~repro.experiments.plan.RunSpec` can vectorize.
+
+    Builds the spec's configuration (and therefore a fresh adversary) to
+    introspect the concrete arrival/jammer types; the built objects are
+    discarded, so this never leaks state into the actual run.
+    """
+    if getattr(spec, "collect_trace", False):
+        return "execution traces record per-slot per-packet detail"
+    if getattr(spec, "collect_potential", False):
+        return "potential tracking reads per-packet windows each slot"
+    reason = protocol_support(getattr(spec, "protocol", None))
+    if reason is not None:
+        return reason
+    try:
+        config = spec.build_config()
+    except Exception as exc:  # pragma: no cover - defensive
+        return f"spec could not build its configuration: {exc}"
+    return adversary_support(config.adversary)

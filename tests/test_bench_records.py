@@ -1,0 +1,66 @@
+"""Tests for the merging wall-clock bench writer (`repro.experiments.bench`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.bench import record_bench
+
+
+class TestRecordBench:
+    def test_creates_file_with_latest_and_history(self, tmp_path):
+        path = tmp_path / "results" / "BENCH_test.json"
+        record_bench(path, "E1", seconds=1.25, scale="smoke")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["E1"]["latest"]["seconds"] == 1.25
+        assert data["E1"]["latest"]["scale"] == "smoke"
+        assert "recorded_at" in data["E1"]["latest"]
+        assert len(data["E1"]["history"]) == 1
+
+    def test_history_accumulates_instead_of_overwriting(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        record_bench(path, "E1", seconds=1.0, scale="smoke")
+        record_bench(path, "E1", seconds=2.0, scale="default")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["E1"]["latest"]["seconds"] == 2.0
+        assert [entry["seconds"] for entry in data["E1"]["history"]] == [1.0, 2.0]
+
+    def test_merges_across_experiments(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        record_bench(path, "E1", seconds=1.0, scale="smoke")
+        record_bench(path, "E2", seconds=3.0, scale="smoke")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert set(data) == {"E1", "E2"}
+        assert data["E1"]["latest"]["seconds"] == 1.0
+
+    def test_migrates_legacy_flat_entries(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text(
+            json.dumps({"E1": {"seconds": 9.9, "scale": "default"}}),
+            encoding="utf-8",
+        )
+        record_bench(path, "E1", seconds=1.0, scale="smoke")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert [entry["seconds"] for entry in data["E1"]["history"]] == [9.9, 1.0]
+        assert data["E1"]["latest"]["seconds"] == 1.0
+
+    def test_records_backend_and_extra_fields(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        record_bench(
+            path,
+            "VEC",
+            seconds=0.5,
+            scale="default",
+            backend={"backend": "vector"},
+            extra={"speedup": 6.5},
+        )
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["VEC"]["latest"]["backend"] == {"backend": "vector"}
+        assert data["VEC"]["latest"]["speedup"] == 6.5
+
+    def test_unreadable_file_is_replaced(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text("{not json", encoding="utf-8")
+        record_bench(path, "E1", seconds=1.0, scale="smoke")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["E1"]["latest"]["seconds"] == 1.0

@@ -54,6 +54,62 @@ class TestRun:
         second = json.loads((out_dir / "e1.json").read_text(encoding="utf-8"))
         assert second["rows"] == first["rows"]
 
+    def test_run_vector_backend(self, tmp_path):
+        out_dir = tmp_path / "results"
+        code = main(
+            [
+                "run", "e1",
+                "--scale", "smoke",
+                "--seeds", "11,23",
+                "--backend", "vector",
+                "--out", str(out_dir),
+            ]
+        )
+        assert code == 0
+        payload = json.loads((out_dir / "e1.json").read_text(encoding="utf-8"))
+        backend = payload["backend"]
+        assert backend["backend"] == "vector"
+        # E1 mixes vectorizable baselines with sensing protocols, so the
+        # run must report both a vectorized share and a serial fallback.
+        assert backend["vectorized_jobs"] > 0
+        assert backend["fallback_jobs"] > 0
+        assert backend["fallback"]["backend"] == "serial"
+        assert payload["rows"] and payload["verdicts"]
+
+    def test_backend_counters_attributed_per_experiment(self, tmp_path):
+        out_dir = tmp_path / "results"
+        code = main(
+            [
+                "run", "e1", "e7",
+                "--scale", "smoke",
+                "--backend", "vector",
+                "--out", str(out_dir),
+            ]
+        )
+        assert code == 0
+        e1 = json.loads((out_dir / "e1.json").read_text(encoding="utf-8"))
+        e7 = json.loads((out_dir / "e7.json").read_text(encoding="utf-8"))
+        # E7 at smoke scale runs only the (non-vectorizable) low-sensing
+        # protocol; its report must not inherit E1's vectorized jobs.
+        assert e7["backend"]["vectorized_jobs"] == 0
+        assert e7["backend"]["fallback_jobs"] == 3
+        assert e1["backend"]["vectorized_jobs"] == 6
+
+    def test_run_bench_out_merges_history(self, tmp_path):
+        bench_path = tmp_path / "BENCH_cli.json"
+        args = [
+            "run", "e1",
+            "--scale", "smoke",
+            "--seeds", "11",
+            "--bench-out", str(bench_path),
+        ]
+        assert main(args) == 0
+        assert main(args) == 0
+        payload = json.loads(bench_path.read_text(encoding="utf-8"))
+        assert len(payload["E1"]["history"]) == 2
+        assert payload["E1"]["latest"]["scale"] == "smoke"
+        assert payload["E1"]["latest"]["backend"] == {"backend": "serial"}
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "e42"])

@@ -129,6 +129,32 @@ class TestResultCacheBackend:
         again = cache.run(specs)[0]
         assert again.summary() == first.summary()
 
+    def test_corrupt_entry_recovery(self, tmp_path):
+        """A corrupted entry is counted as a miss, re-run, and overwritten
+        with a valid entry that the next run hits."""
+        specs = _specs(seeds=(9,))
+        cache = ResultCacheBackend(tmp_path / "cache")
+        first = cache.run(specs)[0]
+        path = tmp_path / "cache" / f"{specs[0].cache_key()}.pkl"
+        path.write_bytes(b"\x80\x04garbage")
+        recovered = cache.run(specs)[0]
+        assert (cache.hits, cache.misses) == (0, 2)
+        assert recovered.summary() == first.summary()
+        # The entry was rewritten: the third run is a clean hit.
+        third = cache.run(specs)[0]
+        assert (cache.hits, cache.misses) == (1, 2)
+        assert third.summary() == first.summary()
+
+    def test_describe_reports_hit_and_miss_counts(self, tmp_path):
+        specs = _specs(seeds=(1, 2))
+        cache = ResultCacheBackend(tmp_path / "cache")
+        cache.run(specs)
+        cache.run(specs)
+        description = cache.describe()
+        assert description["hits"] == 2
+        assert description["misses"] == 2
+        assert description["inner"] == {"backend": "serial"}
+
 
 class TestMakeBackend:
     def test_names(self):

@@ -1,0 +1,303 @@
+"""Tests for `VectorBackend`: grouping, ordering, and the serial fallback.
+
+The vector/scalar boundary contract: every configuration the vector engine
+does not support (sensing protocols, reactive or coupled adversaries,
+traces, potential tracking) must cleanly fall back to the serial engine and
+produce results *identical* to `SerialBackend` — it is literally the same
+code path, so this is an equality, not a statistical, assertion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.adaptive import BacklogCouplingAdversary
+from repro.adversary.arrivals import BatchArrivals
+from repro.adversary.composite import CompositeAdversary
+from repro.adversary.jamming import (
+    AdaptiveContentionJammer,
+    NoJamming,
+    ReactiveSuccessJammer,
+    ReactiveTargetedJammer,
+)
+from repro.core.low_sensing import LowSensingBackoff
+from repro.exec import (
+    BACKEND_NAMES,
+    ConfigJob,
+    SerialBackend,
+    VectorBackend,
+    make_backend,
+)
+from repro.experiments.plan import RunSpec, SweepPlan, factory
+from repro.protocols.binary_exponential import BinaryExponentialBackoff
+from repro.protocols.fixed_probability import FixedProbabilityProtocol
+from repro.protocols.mw_full_sensing import FullSensingMultiplicativeWeights
+from repro.protocols.sawtooth import SawtoothBackoff
+from repro.sim.config import SimulationConfig
+
+
+def batch_adversary(n):
+    return factory(CompositeAdversary, factory(BatchArrivals, n))
+
+
+def spec(protocol, seed, *, adversary=None, **kwargs):
+    return RunSpec(
+        protocol=protocol,
+        adversary=adversary or batch_adversary(20),
+        seed=seed,
+        **kwargs,
+    )
+
+
+def summary_tuple(result):
+    summary = result.summary()
+    return (
+        result.seed,
+        result.num_slots,
+        result.drained,
+        summary.num_arrivals,
+        summary.num_delivered,
+        summary.throughput,
+        summary.mean_accesses,
+        summary.max_backlog,
+    )
+
+
+UNSUPPORTED_SPECS = [
+    pytest.param(spec(SawtoothBackoff(), 1), id="sawtooth"),
+    pytest.param(spec(FullSensingMultiplicativeWeights(), 2), id="full-sensing-mw"),
+    pytest.param(spec(LowSensingBackoff(), 3), id="low-sensing"),
+    pytest.param(
+        spec(
+            BinaryExponentialBackoff(),
+            4,
+            adversary=factory(
+                CompositeAdversary,
+                factory(BatchArrivals, 10),
+                factory(ReactiveTargetedJammer, budget=5, target_index=0),
+            ),
+        ),
+        id="reactive-targeted",
+    ),
+    pytest.param(
+        spec(
+            BinaryExponentialBackoff(),
+            5,
+            adversary=factory(
+                CompositeAdversary,
+                factory(BatchArrivals, 10),
+                factory(ReactiveSuccessJammer, budget=3),
+            ),
+        ),
+        id="reactive-success",
+    ),
+    pytest.param(
+        spec(
+            BinaryExponentialBackoff(),
+            6,
+            adversary=factory(
+                CompositeAdversary,
+                factory(BatchArrivals, 10),
+                factory(AdaptiveContentionJammer, budget=5),
+            ),
+        ),
+        id="adaptive-contention",
+    ),
+    pytest.param(
+        spec(
+            BinaryExponentialBackoff(),
+            7,
+            adversary=factory(
+                BacklogCouplingAdversary, target_backlog=2, total_packets=10
+            ),
+        ),
+        id="backlog-coupling",
+    ),
+    pytest.param(
+        spec(BinaryExponentialBackoff(), 8, collect_trace=True), id="trace-enabled"
+    ),
+    pytest.param(
+        spec(BinaryExponentialBackoff(), 9, collect_potential=True),
+        id="potential-enabled",
+    ),
+]
+
+
+class TestFallbackBoundary:
+    @pytest.mark.parametrize("unsupported", UNSUPPORTED_SPECS)
+    def test_unsupported_spec_declares_a_reason(self, unsupported):
+        assert unsupported.vector_support() is not None
+
+    @pytest.mark.parametrize("unsupported", UNSUPPORTED_SPECS)
+    def test_unsupported_spec_identical_to_serial(self, unsupported):
+        backend = VectorBackend()
+        vector_result = backend.run([unsupported])[0]
+        serial_result = SerialBackend().run([unsupported])[0]
+        assert summary_tuple(vector_result) == summary_tuple(serial_result)
+        assert (
+            vector_result.collector.backlog_series
+            == serial_result.collector.backlog_series
+        )
+        assert backend.fallback_jobs == 1
+        assert backend.vectorized_jobs == 0
+
+    def test_config_jobs_always_fall_back(self):
+        config = SimulationConfig(
+            protocol=BinaryExponentialBackoff(),
+            adversary=CompositeAdversary(BatchArrivals(10), NoJamming()),
+            seed=1,
+        )
+        backend = VectorBackend()
+        results = backend.run([ConfigJob(config)])
+        assert backend.fallback_jobs == 1
+        assert results[0].num_arrivals == 10
+
+
+class TestGroupingAndOrdering:
+    def test_results_in_job_order_for_mixed_batches(self):
+        jobs = [
+            spec(LowSensingBackoff(), 1),
+            spec(BinaryExponentialBackoff(), 2),
+            spec(LowSensingBackoff(), 3),
+            spec(BinaryExponentialBackoff(), 4),
+            spec(FixedProbabilityProtocol.tuned_for(20), 5),
+        ]
+        backend = VectorBackend()
+        results = backend.run(jobs)
+        assert [r.seed for r in results] == [1, 2, 3, 4, 5]
+        assert [r.protocol_name for r in results] == [
+            "low-sensing",
+            "binary-exponential",
+            "low-sensing",
+            "binary-exponential",
+            "fixed-probability",
+        ]
+        assert backend.vectorized_jobs == 3
+        assert backend.fallback_jobs == 2
+        # BEB seeds 2 and 4 share a group; the tuned fixed-probability
+        # protocol forms its own.
+        assert backend.vector_groups == 2
+
+    def test_same_config_many_seeds_is_one_group(self):
+        jobs = [spec(BinaryExponentialBackoff(), seed) for seed in range(6)]
+        backend = VectorBackend()
+        backend.run(jobs)
+        assert backend.vector_groups == 1
+        assert backend.vectorized_jobs == 6
+
+    def test_differing_max_slots_split_groups(self):
+        jobs = [
+            spec(BinaryExponentialBackoff(), 1, max_slots=1_000),
+            spec(BinaryExponentialBackoff(), 2, max_slots=2_000),
+        ]
+        backend = VectorBackend()
+        backend.run(jobs)
+        assert backend.vector_groups == 2
+
+    def test_empty_job_list(self):
+        assert VectorBackend().run([]) == []
+
+    def test_repeat_runs_bit_identical(self):
+        jobs = [spec(BinaryExponentialBackoff(), seed) for seed in (11, 23)]
+        first = VectorBackend().run(jobs)
+        second = VectorBackend().run(jobs)
+        for a, b in zip(first, second):
+            assert a.collector.backlog_series == b.collector.backlog_series
+            assert summary_tuple(a) == summary_tuple(b)
+
+
+class TestPlanIntegration:
+    def test_sweep_plan_runs_on_vector_backend(self):
+        plan = SweepPlan()
+        for protocol in (LowSensingBackoff(), BinaryExponentialBackoff()):
+            plan.add_group(
+                protocol, batch_adversary(20), seeds=[1, 2, 3], columns={"n": 20}
+            )
+        vector_rows = plan.run(VectorBackend()).group_rows()
+        serial_rows = plan.run(SerialBackend()).group_rows()
+        assert len(vector_rows) == 2
+        # The low-sensing group falls back to serial: bit-identical rows.
+        assert vector_rows[0] == serial_rows[0]
+        # The BEB group vectorizes: same workload, different coins.
+        assert vector_rows[1]["arrivals"] == serial_rows[1]["arrivals"]
+        assert vector_rows[1]["drained"] == serial_rows[1]["drained"]
+
+    def test_vector_summary_metadata(self):
+        plan = SweepPlan()
+        plan.add_group(BinaryExponentialBackoff(), batch_adversary(10), seeds=[1, 2])
+        plan.add_group(LowSensingBackoff(), batch_adversary(10), seeds=[3, 4])
+        summary = plan.vector_summary()
+        assert summary["total_specs"] == 4
+        assert summary["vectorizable_specs"] == 2
+        assert list(summary["fallback_groups"]) == [1]
+
+
+class TestRegistration:
+    def test_backend_names_include_vector(self):
+        assert "vector" in BACKEND_NAMES
+
+    def test_make_backend_vector(self):
+        backend = make_backend("vector")
+        assert isinstance(backend, VectorBackend)
+        description = backend.describe()
+        assert description["backend"] == "vector"
+        assert description["fallback"]["backend"] == "serial"
+
+    def test_make_backend_vector_with_cache(self, tmp_path):
+        backend = make_backend("vector", cache_dir=str(tmp_path))
+        assert backend.describe()["inner"]["backend"] == "vector"
+
+
+class TestCacheLayoutIsolation:
+    """A shared --cache-dir must never serve one engine's results to the
+    other: the layouts are only statistically equivalent, and a vectorized
+    job's result additionally depends on the batch it is grouped into."""
+
+    def test_serial_cache_entry_not_served_to_vector_run(self, tmp_path):
+        job = spec(BinaryExponentialBackoff(), 7)
+        serial_cached = make_backend("serial", cache_dir=str(tmp_path))
+        serial_result = serial_cached.run([job])[0]
+        vector_cached = make_backend("vector", cache_dir=str(tmp_path))
+        vector_result = vector_cached.run([job])[0]
+        # The vector run must have computed its own (vector-layout) result,
+        # not loaded the serial pickle.
+        assert vector_cached.hits == 0
+        reference = VectorBackend().run([job])[0]
+        assert (
+            vector_result.collector.backlog_series
+            == reference.collector.backlog_series
+        )
+        # And the serial entry is still intact for scalar consumers.
+        serial_again = make_backend("serial", cache_dir=str(tmp_path)).run([job])[0]
+        assert (
+            serial_again.collector.backlog_series
+            == serial_result.collector.backlog_series
+        )
+
+    def test_vectorized_jobs_are_never_cached(self, tmp_path):
+        job = spec(BinaryExponentialBackoff(), 7)
+        vector_cached = make_backend("vector", cache_dir=str(tmp_path))
+        vector_cached.run([job])
+        vector_cached.run([job])
+        assert vector_cached.hits == 0
+        assert vector_cached.misses == 2
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_fallback_jobs_share_the_scalar_cache(self, tmp_path):
+        job = spec(LowSensingBackoff(), 7)  # falls back to serial
+        serial_cached = make_backend("serial", cache_dir=str(tmp_path))
+        serial_result = serial_cached.run([job])[0]
+        vector_cached = make_backend("vector", cache_dir=str(tmp_path))
+        vector_result = vector_cached.run([job])[0]
+        # Fallback results are scalar-layout, hence safely interchangeable.
+        assert vector_cached.hits == 1
+        assert (
+            vector_result.collector.backlog_series
+            == serial_result.collector.backlog_series
+        )
+
+    def test_result_layout_declarations(self):
+        backend = VectorBackend()
+        assert backend.result_layout(spec(BinaryExponentialBackoff(), 1)) is None
+        assert backend.result_layout(spec(LowSensingBackoff(), 1)) == "scalar"
+        assert SerialBackend().result_layout(spec(LowSensingBackoff(), 1)) == "scalar"

@@ -1,0 +1,353 @@
+"""Tests for the lockstep batch engine (`repro.sim.vector`)."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.adversary.arrivals import (
+    BatchArrivals,
+    NoArrivals,
+    PeriodicBurstArrivals,
+    PoissonArrivals,
+)
+from repro.adversary.composite import CompositeAdversary
+from repro.adversary.jamming import (
+    BernoulliJamming,
+    BurstJamming,
+    NoJamming,
+    PeriodicJamming,
+)
+from repro.core.low_sensing import LowSensingBackoff
+from repro.protocols.binary_exponential import BinaryExponentialBackoff
+from repro.protocols.fixed_probability import FixedProbabilityProtocol
+from repro.protocols.polynomial_backoff import PolynomialBackoff
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import Simulator
+from repro.sim.vector import VectorSimulator
+from repro.sim.vector.support import adversary_support, protocol_support
+
+ALWAYS_SEND = FixedProbabilityProtocol(probability=1.0)
+
+COLLECTOR_FIELDS = (
+    "num_slots",
+    "num_active_slots",
+    "num_arrivals",
+    "num_successes",
+    "num_collisions",
+    "num_empty_active",
+    "num_jammed",
+    "num_jammed_active",
+    "total_sends",
+    "total_listens",
+)
+
+
+def scalar_run(protocol, arrivals, jammer, seed, max_slots=60):
+    config = SimulationConfig(
+        protocol=protocol,
+        adversary=CompositeAdversary(arrivals, jammer),
+        seed=seed,
+        max_slots=max_slots,
+    )
+    return Simulator(config).run()
+
+
+def assert_identical(vector_result, scalar_result):
+    """Exact equality of everything both engines report."""
+    assert vector_result.num_slots == scalar_result.num_slots
+    assert vector_result.drained == scalar_result.drained
+    for field in COLLECTOR_FIELDS:
+        assert getattr(vector_result.collector, field) == getattr(
+            scalar_result.collector, field
+        ), field
+    assert (
+        vector_result.collector.backlog_series
+        == scalar_result.collector.backlog_series
+    )
+    assert (
+        vector_result.collector.cumulative_arrivals
+        == scalar_result.collector.cumulative_arrivals
+    )
+    assert (
+        vector_result.collector.cumulative_successes
+        == scalar_result.collector.cumulative_successes
+    )
+    assert packet_tuples(vector_result) == packet_tuples(scalar_result)
+
+
+def packet_tuples(result):
+    return [
+        (p.packet_id, p.arrival_slot, p.departure_slot, p.sends, p.listens)
+        for p in result.packets
+    ]
+
+
+class TestDeterministicWorkloadsMatchScalarExactly:
+    """With p=1 every decision is deterministic, so the two engines must
+    agree bit-for-bit — this pins the slot semantics (injection order,
+    channel rules, drain condition, metric accounting) independently of the
+    random-stream layout."""
+
+    @pytest.mark.parametrize(
+        "arrivals,jammer",
+        [
+            (BatchArrivals(1), NoJamming()),
+            (BatchArrivals(3), NoJamming()),
+            (BatchArrivals(2), PeriodicJamming(period=2)),
+            (BatchArrivals(2), PeriodicJamming(period=3, budget=4)),
+            (BatchArrivals(2), BurstJamming(start=5, length=4)),
+            (BatchArrivals(2), BurstJamming(start=2, length=2, period=6, budget=3)),
+            (NoArrivals(), NoJamming()),
+            (PeriodicBurstArrivals(burst_size=1, period=7, num_bursts=3), NoJamming()),
+        ],
+    )
+    def test_bit_identical_to_scalar(self, arrivals, jammer):
+        vector_result = VectorSimulator(
+            ALWAYS_SEND,
+            copy.deepcopy(arrivals),
+            copy.deepcopy(jammer),
+            seeds=[5],
+            max_slots=60,
+        ).run()[0]
+        assert_identical(vector_result, scalar_run(ALWAYS_SEND, arrivals, jammer, 5))
+
+    def test_single_packet_succeeds_at_slot_zero(self):
+        result = VectorSimulator(
+            ALWAYS_SEND, BatchArrivals(1), NoJamming(), seeds=[0]
+        ).run()[0]
+        assert result.num_slots == 1
+        assert result.drained
+        assert result.packets[0].departure_slot == 0
+        assert result.packets[0].sends == 1
+
+    def test_no_arrivals_drains_immediately(self):
+        result = VectorSimulator(
+            ALWAYS_SEND, NoArrivals(), NoJamming(), seeds=[0]
+        ).run()[0]
+        assert result.num_slots == 0
+        assert result.drained
+        assert result.packets == []
+        assert result.collector.backlog_series == []
+
+
+class TestDeterminismOfVectorRuns:
+    def test_repeat_runs_bit_identical(self):
+        def run_batch():
+            return VectorSimulator(
+                BinaryExponentialBackoff(),
+                BatchArrivals(40),
+                BernoulliJamming(probability=0.05, budget=10),
+                seeds=[11, 23, 47],
+            ).run()
+
+        for first, second in zip(run_batch(), run_batch()):
+            assert first.collector.backlog_series == second.collector.backlog_series
+            assert packet_tuples(first) == packet_tuples(second)
+            for field in COLLECTOR_FIELDS:
+                assert getattr(first.collector, field) == getattr(
+                    second.collector, field
+                )
+
+    def test_replications_are_independent_of_batch_order(self):
+        # Results come back in seed order, each replication keyed by its
+        # own seed's streams.
+        forward = VectorSimulator(
+            PolynomialBackoff(), BatchArrivals(20), NoJamming(), seeds=[1, 2]
+        ).run()
+        assert [r.seed for r in forward] == [1, 2]
+        assert forward[0].collector.backlog_series != forward[1].collector.backlog_series
+
+    def test_num_slots_vary_per_replication(self):
+        results = VectorSimulator(
+            FixedProbabilityProtocol.tuned_for(30),
+            BatchArrivals(30),
+            NoJamming(),
+            seeds=list(range(6)),
+        ).run()
+        assert len({r.num_slots for r in results}) > 1
+        assert all(r.drained for r in results)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize(
+        "protocol,arrivals,jammer",
+        [
+            (BinaryExponentialBackoff(), BatchArrivals(50), NoJamming()),
+            (
+                BinaryExponentialBackoff(max_window=64.0),
+                BatchArrivals(30),
+                PeriodicJamming(period=5, budget=20),
+            ),
+            (
+                PolynomialBackoff(),
+                PeriodicBurstArrivals(burst_size=5, period=40, num_bursts=4),
+                BurstJamming(start=10, length=5),
+            ),
+            (
+                FixedProbabilityProtocol(probability=0.08),
+                PoissonArrivals(rate=0.03, horizon=1500),
+                BernoulliJamming(probability=0.05, budget=25, only_active=True),
+            ),
+        ],
+    )
+    def test_conservation_and_consistency(self, protocol, arrivals, jammer):
+        results = VectorSimulator(
+            protocol, arrivals, jammer, seeds=[3, 7, 13], max_slots=30_000
+        ).run()
+        for result in results:
+            collector = result.collector
+            assert collector.num_arrivals == len(result.packets)
+            assert collector.num_successes == sum(
+                1 for p in result.packets if p.departed
+            )
+            assert collector.total_sends == sum(p.sends for p in result.packets)
+            assert collector.total_listens == 0
+            assert collector.backlog == collector.num_arrivals - collector.num_successes
+            assert len(collector.backlog_series) == result.num_slots
+            if result.num_slots:
+                assert collector.cumulative_arrivals[-1] == collector.num_arrivals
+                assert collector.cumulative_successes[-1] == collector.num_successes
+                assert (
+                    collector.cumulative_active_slots[-1]
+                    == collector.num_active_slots
+                )
+            budget = getattr(jammer, "budget", None)
+            if budget is not None:
+                assert collector.num_jammed <= budget
+            for packet in result.packets:
+                if packet.departed:
+                    assert packet.departure_slot >= packet.arrival_slot
+                    assert packet.sends >= 1
+
+    def test_capacity_growth_is_deterministic(self):
+        # Poisson arrivals exceed the initial capacity guess and force the
+        # state arrays to grow mid-run; growth must not break determinism.
+        def run_batch():
+            return VectorSimulator(
+                BinaryExponentialBackoff(),
+                PoissonArrivals(rate=0.2, horizon=1200),
+                NoJamming(),
+                seeds=[1, 2, 3],
+                max_slots=10_000,
+            ).run()
+
+        first, second = run_batch(), run_batch()
+        totals = [r.num_arrivals for r in first]
+        assert max(totals) > 64  # the initial open-ended capacity guess
+        for a, b in zip(first, second):
+            assert packet_tuples(a) == packet_tuples(b)
+
+    def test_max_slots_cap_without_drain(self):
+        results = VectorSimulator(
+            ALWAYS_SEND, BatchArrivals(2), NoJamming(), seeds=[1], max_slots=25
+        ).run()
+        assert results[0].num_slots == 25
+        assert not results[0].drained
+        assert results[0].collector.num_collisions == 25
+
+    def test_stop_when_drained_false_runs_to_cap(self):
+        results = VectorSimulator(
+            ALWAYS_SEND,
+            BatchArrivals(1),
+            NoJamming(),
+            seeds=[1],
+            max_slots=30,
+            stop_when_drained=False,
+        ).run()
+        assert results[0].num_slots == 30
+        assert results[0].drained
+
+
+class TestValidationAndSupport:
+    def test_rejects_empty_seed_list(self):
+        with pytest.raises(ValueError, match="seed"):
+            VectorSimulator(ALWAYS_SEND, BatchArrivals(1), NoJamming(), seeds=[])
+
+    def test_rejects_unsupported_protocol(self):
+        with pytest.raises(ValueError, match="cannot vectorize"):
+            VectorSimulator(LowSensingBackoff(), BatchArrivals(1), NoJamming(), seeds=[1])
+
+    def test_protocol_support_flags(self):
+        assert protocol_support(BinaryExponentialBackoff()) is None
+        assert protocol_support(PolynomialBackoff()) is None
+        assert protocol_support(FixedProbabilityProtocol()) is None
+        assert protocol_support(LowSensingBackoff()) is not None
+
+    def test_subclass_of_supported_protocol_is_rejected(self):
+        class Tweaked(BinaryExponentialBackoff):
+            pass
+
+        assert protocol_support(Tweaked()) is not None
+
+    def test_adversary_support(self):
+        assert adversary_support(CompositeAdversary(BatchArrivals(1), NoJamming())) is None
+        from repro.adversary.jamming import ReactiveSuccessJammer
+
+        reason = adversary_support(
+            CompositeAdversary(BatchArrivals(1), ReactiveSuccessJammer(budget=1))
+        )
+        assert reason is not None and "reactive" in reason.lower()
+
+    def test_from_specs_rejects_heterogeneous_batches(self):
+        from repro.experiments.plan import RunSpec, factory
+
+        adversary = factory(CompositeAdversary, factory(BatchArrivals, 5))
+        mixed = [
+            RunSpec(protocol=BinaryExponentialBackoff(), adversary=adversary, seed=1),
+            RunSpec(protocol=PolynomialBackoff(), adversary=adversary, seed=2),
+        ]
+        with pytest.raises(ValueError, match="one configuration"):
+            VectorSimulator.from_specs(mixed)
+
+    def test_vector_support_reports_trace_and_potential(self):
+        from repro.experiments.plan import RunSpec, factory
+
+        adversary = factory(CompositeAdversary, factory(BatchArrivals, 5))
+        ok = RunSpec(protocol=ALWAYS_SEND, adversary=adversary, seed=1)
+        assert ok.vector_support() is None
+        traced = RunSpec(
+            protocol=ALWAYS_SEND, adversary=adversary, seed=1, collect_trace=True
+        )
+        assert "trace" in traced.vector_support()
+        tracked = RunSpec(
+            protocol=ALWAYS_SEND, adversary=adversary, seed=1, collect_potential=True
+        )
+        assert "potential" in tracked.vector_support()
+
+
+class TestStatisticalAgreementSpotChecks:
+    """Cheap distribution-level sanity checks; the rigorous comparison
+    lives in test_vector_equivalence.py."""
+
+    def test_beb_mean_accesses_close_to_scalar(self):
+        seeds = list(range(8))
+        vector_results = VectorSimulator(
+            BinaryExponentialBackoff(), BatchArrivals(50), NoJamming(), seeds=seeds
+        ).run()
+        scalar_results = [
+            scalar_run(
+                BinaryExponentialBackoff(),
+                BatchArrivals(50),
+                NoJamming(),
+                seed,
+                max_slots=200_000,
+            )
+            for seed in seeds
+        ]
+        vector_mean = sum(
+            r.energy_statistics().mean_accesses for r in vector_results
+        ) / len(seeds)
+        scalar_mean = sum(
+            r.energy_statistics().mean_accesses for r in scalar_results
+        ) / len(seeds)
+        assert vector_mean == pytest.approx(scalar_mean, rel=0.2)
+
+    def test_all_packets_delivered_on_batch(self):
+        results = VectorSimulator(
+            BinaryExponentialBackoff(), BatchArrivals(60), NoJamming(), seeds=[1, 2]
+        ).run()
+        for result in results:
+            assert result.drained
+            assert all(p.departed for p in result.packets)
