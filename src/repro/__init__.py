@@ -33,6 +33,8 @@ from repro.adversary import (
     PoissonArrivals,
     ReactiveSuccessJammer,
     ReactiveTargetedJammer,
+    ScheduledArrivals,
+    ScheduledJamming,
     TraceArrivals,
 )
 from repro.core import (
@@ -58,6 +60,7 @@ from repro.exec import (
     make_backend,
 )
 from repro.queueing import QueueingConstraint
+from repro.scenarios.schedule import Phase, Schedule
 from repro.sim import (
     SimulationConfig,
     SimulationResult,
@@ -85,12 +88,16 @@ __all__ = [
     "NoJamming",
     "PeriodicBurstArrivals",
     "PeriodicJamming",
+    "Phase",
     "PoissonArrivals",
     "PolynomialBackoff",
     "PotentialTracker",
     "ProcessPoolBackend",
     "QueueingConstraint",
     "ResultCacheBackend",
+    "Schedule",
+    "ScheduledArrivals",
+    "ScheduledJamming",
     "SerialBackend",
     "ReactiveSuccessJammer",
     "ReactiveTargetedJammer",

@@ -10,7 +10,9 @@ in the current slot before committing its jamming decision for that slot.
 This subpackage factors the adversary into an arrival process and a jammer,
 combined by :class:`~repro.adversary.composite.CompositeAdversary`.  All
 strategies draw randomness from an engine-supplied random source so runs are
-reproducible per seed.
+reproducible per seed.  Piecewise time-varying behaviour is expressed with
+the schedule DSL (:mod:`repro.scenarios.schedule`) and driven through the
+adapters in :mod:`repro.adversary.scheduled`.
 """
 
 from repro.adversary.arrivals import (
@@ -35,6 +37,7 @@ from repro.adversary.jamming import (
     ReactiveSuccessJammer,
     ReactiveTargetedJammer,
 )
+from repro.adversary.scheduled import ScheduledArrivals, ScheduledJamming
 
 __all__ = [
     "AdaptiveContentionJammer",
@@ -54,6 +57,8 @@ __all__ = [
     "PoissonArrivals",
     "ReactiveSuccessJammer",
     "ReactiveTargetedJammer",
+    "ScheduledArrivals",
+    "ScheduledJamming",
     "SystemView",
     "TraceArrivals",
 ]

@@ -332,3 +332,35 @@ def verify_vector_equivalence(
         )
     )
     return report
+
+
+def verify_plan_equivalence(
+    plan,
+    *,
+    alpha: float = 0.001,
+    mean_alpha: float = 0.002,
+    relative_tolerance: float = 0.15,
+) -> dict[int, "EquivalenceReport"]:
+    """Check every vectorizable group of a sweep plan through both engines.
+
+    ``plan`` is a :class:`~repro.experiments.plan.SweepPlan` (for example
+    one compiled from a scenario by :func:`repro.scenarios.runner.build_plan`).
+    Each group is one configuration replicated over seeds — exactly the
+    shape :func:`verify_vector_equivalence` wants — so the plan's
+    vectorizable groups map to one report each, keyed by group id.
+    Non-vectorizable groups are skipped (they have no vector side to
+    compare).
+    """
+    specs = plan.specs
+    fallback_groups = plan.vector_summary()["fallback_groups"]
+    reports: dict[int, EquivalenceReport] = {}
+    for group in plan.groups:
+        if group.group_id in fallback_groups:
+            continue
+        reports[group.group_id] = verify_vector_equivalence(
+            [specs[index] for index in group.spec_indices],
+            alpha=alpha,
+            mean_alpha=mean_alpha,
+            relative_tolerance=relative_tolerance,
+        )
+    return reports

@@ -1,9 +1,11 @@
 """The ``python -m repro`` command line.
 
-Two subcommands:
+Subcommands:
 
 ``list``
-    Print the experiment table (id, title, bench target).
+    Print the experiment table and the scenario catalog.  With ``--json``
+    the listing is machine-readable (ids, titles, tags, content hashes),
+    so CI and scripts can enumerate what is runnable.
 
 ``run``
     Run experiments by id on a chosen execution backend and print their
@@ -22,6 +24,22 @@ Two subcommands:
     through the lockstep numpy engine and runs the rest serially; the
     backend description in the report shows the vectorized/fallback split.
 
+``scenario``
+    The scenario catalog and file format (see :mod:`repro.scenarios`)::
+
+        python -m repro scenario list
+        python -m repro scenario show onoff-jamming
+        python -m repro scenario run onoff-jamming my-workload.toml --backend vector
+
+    ``run`` accepts catalog names and/or ``.toml``/``.json`` scenario
+    files, and takes the same backend/report options as ``run``.
+
+``equivalence``
+    Run the vector-vs-serial statistical-equivalence harness
+    (:mod:`repro.analysis.equivalence`) outside pytest: by default on the
+    vectorizable E1 batch core, or on a scenario's vectorizable groups
+    with ``--scenario``.  Exits non-zero when any comparison fails.
+
 Experiment ids are case-insensitive (``e3`` and ``E3`` both work).
 """
 
@@ -39,14 +57,63 @@ from repro.experiments.reporting import render_report, report_to_dict
 from repro.experiments.spec import SCALES
 
 
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    """Backend/report options shared by ``run`` and ``scenario run``."""
+    parser.add_argument("--scale", default="default", choices=SCALES)
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated replicate seeds (default: the scale's seed list)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=BACKEND_NAMES,
+        help="execution backend for the sweep's replicates",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --backend processes (default: cpu count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk result cache (off when omitted)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write one JSON report per experiment/scenario into DIR",
+    )
+    parser.add_argument(
+        "--bench-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "merge a wall-clock record per experiment/scenario into a BENCH "
+            "JSON file (per-id history accumulates across runs)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Run the paper-claim experiments (E1-E9, A1).",
+        description="Run the paper-claim experiments (E1-E9, A1) and scenarios.",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list available experiments")
+    list_parser = subparsers.add_parser(
+        "list", help="list available experiments and scenarios"
+    )
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable listing of experiment and scenario ids",
+    )
 
     run_parser = subparsers.add_parser("run", help="run experiments by id")
     run_parser.add_argument(
@@ -55,43 +122,62 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ID",
         help="experiment ids to run (e.g. e1 e3; case-insensitive)",
     )
-    run_parser.add_argument("--scale", default="default", choices=SCALES)
-    run_parser.add_argument(
-        "--seeds",
-        default=None,
-        help="comma-separated replicate seeds (default: the scale's seed list)",
+    _add_execution_options(run_parser)
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="inspect and run declarative scenarios"
     )
-    run_parser.add_argument(
-        "--backend",
-        default="serial",
-        choices=BACKEND_NAMES,
-        help="execution backend for the sweep's replicates",
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command", required=True)
+    scenario_list = scenario_sub.add_parser("list", help="list the scenario catalog")
+    scenario_list.add_argument("--json", action="store_true")
+    scenario_show = scenario_sub.add_parser(
+        "show", help="print one scenario definition as JSON"
     )
-    run_parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for --backend processes (default: cpu count)",
+    scenario_show.add_argument(
+        "scenario", metavar="NAME_OR_FILE", help="catalog name or .toml/.json path"
     )
-    run_parser.add_argument(
-        "--cache-dir",
-        default=None,
-        help="directory for the on-disk result cache (off when omitted)",
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run scenarios by catalog name or file path"
     )
-    run_parser.add_argument(
-        "--out",
-        default=None,
-        metavar="DIR",
-        help="write one JSON report per experiment into DIR",
+    scenario_run.add_argument(
+        "scenarios",
+        nargs="+",
+        metavar="NAME_OR_FILE",
+        help="catalog names and/or .toml/.json scenario files",
     )
-    run_parser.add_argument(
-        "--bench-out",
+    _add_execution_options(scenario_run)
+
+    equivalence_parser = subparsers.add_parser(
+        "equivalence",
+        help="check the vector-vs-serial statistical-equivalence contract",
+    )
+    equivalence_parser.add_argument(
+        "--scenario",
         default=None,
-        metavar="PATH",
+        metavar="NAME_OR_FILE",
         help=(
-            "merge a wall-clock record per experiment into a BENCH JSON "
-            "file (per-experiment history accumulates across runs)"
+            "check the vectorizable groups of this scenario instead of the "
+            "default E1 batch core"
         ),
+    )
+    equivalence_parser.add_argument(
+        "--scale",
+        default="default",
+        choices=SCALES,
+        help="scale for --scenario runs",
+    )
+    equivalence_parser.add_argument(
+        "--replications",
+        type=int,
+        default=16,
+        metavar="N",
+        help="replications per configuration (default: 16)",
+    )
+    equivalence_parser.add_argument(
+        "--batch-sizes",
+        default="50,100",
+        metavar="N,N",
+        help="batch sizes for the default E1-core check (default: 50,100)",
     )
     return parser
 
@@ -121,19 +207,20 @@ def _parse_seeds(raw: str | None, parser: argparse.ArgumentParser) -> list[int] 
     return seeds
 
 
-def _command_list() -> int:
-    from repro.experiments import experiments as exp_module
+def _parse_positive_ints(
+    raw: str, parser: argparse.ArgumentParser, option: str
+) -> list[int]:
+    try:
+        values = [int(token) for token in raw.split(",") if token.strip()]
+    except ValueError:
+        parser.error(f"{option} must be comma-separated integers, got {raw!r}")
+    if not values or any(value <= 0 for value in values):
+        parser.error(f"{option} must name at least one positive integer, got {raw!r}")
+    return values
 
-    width = max(len(exp_id) for exp_id in ALL_EXPERIMENTS)
-    for exp_id in sorted(ALL_EXPERIMENTS):
-        spec = getattr(exp_module, f"{exp_id}_SPEC")
-        print(f"{exp_id:<{width}}  {spec.title}  [{spec.bench_target}]")
-    return 0
 
-
-def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    ids = _normalise_ids(args.experiments, parser)
-    seeds = _parse_seeds(args.seeds, parser)
+def _backend_builder(args: argparse.Namespace, parser: argparse.ArgumentParser):
+    """A zero-argument backend factory, validated before anything runs."""
     if args.workers is not None and args.backend != "processes":
         parser.error("--workers only applies to --backend processes")
 
@@ -146,9 +233,96 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
             parser.error(str(exc))
 
     build_backend()  # validate the options before running anything
-    out_dir = pathlib.Path(args.out) if args.out else None
-    if out_dir is not None:
+    return build_backend
+
+
+def _experiment_rows() -> list[dict[str, str]]:
+    from repro.experiments import experiments as exp_module
+
+    rows = []
+    for exp_id in sorted(ALL_EXPERIMENTS):
+        spec = getattr(exp_module, f"{exp_id}_SPEC")
+        rows.append(
+            {"id": exp_id, "title": spec.title, "bench_target": spec.bench_target}
+        )
+    return rows
+
+
+def _scenario_rows() -> list[dict[str, object]]:
+    from repro.scenarios.catalog import builtin_scenarios
+
+    rows = []
+    for scenario_id in sorted(builtin_scenarios()):
+        scenario = builtin_scenarios()[scenario_id]
+        rows.append(
+            {
+                "id": scenario.scenario_id,
+                "title": scenario.title,
+                "protocols": list(scenario.protocols),
+                "tags": list(scenario.tags),
+                "max_slots": scenario.max_slots,
+                "replications": scenario.replications,
+                "content_hash": scenario.content_hash(),
+            }
+        )
+    return rows
+
+
+def _print_scenario_table(scenarios: list[dict[str, object]]) -> None:
+    width = max(len(row["id"]) for row in scenarios)
+    for row in scenarios:
+        tags = f" [{', '.join(row['tags'])}]" if row["tags"] else ""
+        print(f"{row['id']:<{width}}  {row['title']}{tags}")
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    experiments = _experiment_rows()
+    scenarios = _scenario_rows()
+    if args.json:
+        print(
+            json.dumps(
+                {"experiments": experiments, "scenarios": scenarios}, indent=2
+            )
+        )
+        return 0
+    width = max(len(row["id"]) for row in experiments)
+    for row in experiments:
+        print(f"{row['id']:<{width}}  {row['title']}  [{row['bench_target']}]")
+    print()
+    print("Scenarios (python -m repro scenario run <id>):")
+    _print_scenario_table(scenarios)
+    return 0
+
+
+def _prepare_out_dir(
+    raw: str | None, parser: argparse.ArgumentParser
+) -> pathlib.Path | None:
+    """Create ``--out`` up front so a bad path fails before anything runs."""
+    if raw is None:
+        return None
+    out_dir = pathlib.Path(raw)
+    try:
         out_dir.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        parser.error(f"cannot create --out directory {raw!r}: {exc}")
+    return out_dir
+
+
+def _write_report_json(
+    out_dir: pathlib.Path, name: str, payload: dict, label: str
+) -> None:
+    path = out_dir / f"{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    print(f"[{label}] wrote {path}")
+
+
+def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    ids = _normalise_ids(args.experiments, parser)
+    seeds = _parse_seeds(args.seeds, parser)
+    build_backend = _backend_builder(args, parser)
+    out_dir = _prepare_out_dir(args.out, parser)
     for exp_id in ids:
         # A fresh backend per experiment keeps the counters it reports
         # (cache hits/misses, vectorized/fallback splits) attributed to
@@ -183,12 +357,154 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
             payload["seeds"] = list(_seeds(args.scale, seeds))
             payload["backend"] = backend.describe()
             payload["elapsed_seconds"] = round(elapsed, 4)
-            path = out_dir / f"{exp_id.lower()}.json"
-            path.write_text(
-                json.dumps(payload, indent=2, sort_keys=False) + "\n",
-                encoding="utf-8",
+            _write_report_json(out_dir, exp_id.lower(), payload, exp_id)
+    return 0
+
+
+def _command_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.scenarios.spec import ScenarioError, resolve_scenario
+
+    if args.scenario_command == "list":
+        scenarios = _scenario_rows()
+        if args.json:
+            print(json.dumps({"scenarios": scenarios}, indent=2))
+            return 0
+        _print_scenario_table(scenarios)
+        return 0
+
+    if args.scenario_command == "show":
+        try:
+            scenario = resolve_scenario(args.scenario)
+        except ScenarioError as exc:
+            parser.error(str(exc))
+        from repro.scenarios.runner import build_plan
+
+        payload = scenario.to_dict()
+        payload["content_hash"] = scenario.content_hash()
+        plan = build_plan(scenario)
+        summary = plan.vector_summary()
+        payload["vector_support"] = {
+            group.protocol_name: summary["fallback_groups"].get(
+                group.group_id, "vectorizable"
             )
-            print(f"[{exp_id}] wrote {path}")
+            for group in plan.groups
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    # scenario run
+    from repro.scenarios.runner import run_scenario, scenario_max_slots, scenario_seeds
+
+    seeds = _parse_seeds(args.seeds, parser)
+    build_backend = _backend_builder(args, parser)
+    try:
+        scenarios = [resolve_scenario(name) for name in args.scenarios]
+    except ScenarioError as exc:
+        parser.error(str(exc))
+    seen_ids: dict[str, str] = {}
+    for argument, scenario in zip(args.scenarios, scenarios):
+        previous = seen_ids.setdefault(scenario.scenario_id, str(argument))
+        if previous != str(argument):
+            # Reports and bench records are keyed by scenario id, so two
+            # definitions sharing one id would silently overwrite each other.
+            parser.error(
+                f"scenario id {scenario.scenario_id!r} requested twice "
+                f"(from {previous!r} and {argument!r})"
+            )
+    out_dir = _prepare_out_dir(args.out, parser)
+    for scenario in scenarios:
+        backend = build_backend()
+        started = time.perf_counter()
+        report = run_scenario(
+            scenario, scale=args.scale, seeds=seeds, backend=backend
+        )
+        elapsed = time.perf_counter() - started
+        label = scenario.scenario_id
+        print(render_report(report))
+        print(f"\n[{label}] {elapsed:.2f}s on backend {backend.describe()}\n")
+        if args.bench_out is not None:
+            from repro.experiments.bench import record_bench
+
+            record_bench(
+                args.bench_out,
+                f"scenario:{label}",
+                seconds=elapsed,
+                scale=args.scale,
+                backend=backend.describe(),
+                extra={"content_hash": scenario.content_hash()},
+            )
+            print(f"[{label}] merged wall-clock record into {args.bench_out}")
+        if out_dir is not None:
+            payload = report_to_dict(report)
+            payload["scenario"] = scenario.to_dict()
+            payload["content_hash"] = scenario.content_hash()
+            payload["scale"] = args.scale
+            payload["seeds"] = list(scenario_seeds(scenario, args.scale, seeds))
+            payload["max_slots"] = scenario_max_slots(scenario, args.scale)
+            payload["backend"] = backend.describe()
+            payload["elapsed_seconds"] = round(elapsed, 4)
+            _write_report_json(out_dir, f"scenario-{label}", payload, label)
+    return 0
+
+
+def _command_equivalence(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    if args.replications < 1:
+        parser.error("--replications must be at least 1")
+    failures = 0
+    if args.scenario is not None:
+        from repro.analysis.equivalence import verify_plan_equivalence
+        from repro.scenarios.runner import build_plan
+        from repro.scenarios.spec import ScenarioError, resolve_scenario
+
+        try:
+            scenario = resolve_scenario(args.scenario)
+        except ScenarioError as exc:
+            parser.error(str(exc))
+        seeds = [scenario.base_seed + index for index in range(args.replications)]
+        plan = build_plan(scenario, scale=args.scale, seeds=seeds)
+        reports = verify_plan_equivalence(plan)
+        if not reports:
+            parser.error(
+                f"scenario {scenario.scenario_id!r} has no vectorizable group; "
+                "nothing to compare"
+            )
+        for group_id, report in sorted(reports.items()):
+            protocol = plan.groups[group_id].protocol_name
+            print(f"-- {scenario.scenario_id} [{protocol}] x{args.replications}")
+            print(report.render())
+            failures += 0 if report.passed else 1
+    else:
+        from repro.adversary.arrivals import BatchArrivals
+        from repro.adversary.composite import CompositeAdversary
+        from repro.analysis.equivalence import verify_vector_equivalence
+        from repro.experiments.plan import RunSpec, factory
+        from repro.protocols.binary_exponential import BinaryExponentialBackoff
+        from repro.protocols.fixed_probability import FixedProbabilityProtocol
+        from repro.protocols.polynomial_backoff import PolynomialBackoff
+
+        batch_sizes = _parse_positive_ints(args.batch_sizes, parser, "--batch-sizes")
+        seeds = range(1, args.replications + 1)
+        for n in batch_sizes:
+            adversary = factory(CompositeAdversary, factory(BatchArrivals, n))
+            for protocol in (
+                BinaryExponentialBackoff(),
+                PolynomialBackoff(),
+                FixedProbabilityProtocol.tuned_for(n),
+            ):
+                specs = [
+                    RunSpec(protocol=protocol, adversary=adversary, seed=seed)
+                    for seed in seeds
+                ]
+                report = verify_vector_equivalence(specs)
+                print(f"-- {protocol.name} n={n} x{args.replications}")
+                print(report.render())
+                failures += 0 if report.passed else 1
+    if failures:
+        print(f"\nequivalence: {failures} configuration(s) FAILED")
+        return 1
+    print("\nequivalence: all configurations passed")
     return 0
 
 
@@ -196,7 +512,11 @@ def main(argv: Iterable[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
     if args.command == "list":
-        return _command_list()
+        return _command_list(args)
+    if args.command == "scenario":
+        return _command_scenario(args, parser)
+    if args.command == "equivalence":
+        return _command_equivalence(args, parser)
     return _command_run(args, parser)
 
 

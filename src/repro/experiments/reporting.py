@@ -21,6 +21,7 @@ from repro.experiments.spec import ExperimentReport
 #: Columns shown first when present; remaining columns follow in row order.
 _PREFERRED_COLUMNS = (
     "protocol",
+    "scenario",
     "variant",
     "n",
     "jam_budget",

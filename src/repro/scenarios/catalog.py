@@ -1,0 +1,311 @@
+"""The curated catalog of built-in scenarios.
+
+Each entry is a paper-motivated stress case expressed in the same
+declarative form a scenario file uses, and goes through the same
+validation path (:func:`repro.scenarios.spec.scenario_from_dict`), so the
+catalog doubles as a living exemplar of the format.  The cases cover the
+adversary axes the paper's guarantees quantify over: time-varying jamming
+duty cycles, ramping and heavy-tailed arrival patterns, budget-limited
+jammers, adversarial-queuing windows, and the reactive/adaptive attacks of
+Sections 1.1–1.3.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.scenarios.spec import Scenario, scenario_from_dict
+
+_DEFINITIONS: tuple[dict, ...] = (
+    {
+        "id": "ramp-arrivals",
+        "title": "Ramping Poisson arrival rate",
+        "description": (
+            "Arrival intensity climbs through four piecewise-constant Poisson "
+            "phases (0.02 -> 0.05 -> 0.1 -> 0.2 packets/slot), probing whether "
+            "backoff keeps up as load approaches the contention knee."
+        ),
+        "protocols": ["low-sensing", "binary-exponential", "fixed-probability"],
+        "max_slots": 6000,
+        "replications": 3,
+        "base_seed": 201,
+        "tags": ["arrivals", "schedule", "ramp"],
+        "arrivals": {
+            "phases": [
+                {"kind": "poisson", "rate": 0.02, "duration": 800},
+                {"kind": "poisson", "rate": 0.05, "duration": 800},
+                {"kind": "poisson", "rate": 0.1, "duration": 800},
+                {"kind": "poisson", "rate": 0.2, "duration": 800},
+            ]
+        },
+    },
+    {
+        "id": "onoff-jamming",
+        "title": "On/off Bernoulli jamming duty cycle",
+        "description": (
+            "Steady Poisson traffic under alternating 400-slot phases of heavy "
+            "Bernoulli jamming (p=0.9) and silence - the canonical time-varying "
+            "attack the stationary sweeps cannot express."
+        ),
+        "protocols": ["low-sensing", "binary-exponential"],
+        "max_slots": 5000,
+        "replications": 3,
+        "base_seed": 211,
+        "tags": ["jamming", "schedule", "duty-cycle"],
+        "arrivals": {"kind": "poisson", "rate": 0.05, "horizon": 2400},
+        "jamming": {
+            "phases": [
+                {"kind": "bernoulli", "probability": 0.9, "duration": 400},
+                {"kind": "none", "duration": 400},
+                {"kind": "bernoulli", "probability": 0.9, "duration": 400},
+                {"kind": "none", "duration": 400},
+                {"kind": "bernoulli", "probability": 0.9, "duration": 400},
+                {"kind": "none"},
+            ]
+        },
+    },
+    {
+        "id": "burst-then-starve",
+        "title": "Burst traffic followed by starvation",
+        "description": (
+            "Eight periodic bursts of 40 packets, then the source goes silent: "
+            "recovery from a loaded channel with no fresh arrivals to re-probe it."
+        ),
+        "protocols": ["low-sensing", "polynomial"],
+        "max_slots": 4000,
+        "replications": 3,
+        "base_seed": 221,
+        "tags": ["arrivals", "schedule", "burst"],
+        "arrivals": {
+            "phases": [
+                {
+                    "kind": "periodic-burst",
+                    "burst_size": 40,
+                    "period": 100,
+                    "num_bursts": 8,
+                    "duration": 800,
+                },
+                {"kind": "none"},
+            ]
+        },
+    },
+    {
+        "id": "jam-then-flood",
+        "title": "Denial window followed by a packet flood",
+        "description": (
+            "The jammer saturates the first 600 slots, then a batch of 150 "
+            "packets floods an already-noisy history - backoff state built "
+            "during the denial window must not poison the recovery."
+        ),
+        "protocols": ["low-sensing", "binary-exponential"],
+        "max_slots": 6000,
+        "replications": 3,
+        "base_seed": 231,
+        "tags": ["jamming", "schedule", "recovery"],
+        "arrivals": {
+            "phases": [
+                {"kind": "none", "duration": 600},
+                {"kind": "batch", "n": 150},
+            ]
+        },
+        "jamming": {
+            "phases": [
+                {
+                    "kind": "bernoulli",
+                    "probability": 1.0,
+                    "only_active": False,
+                    "duration": 600,
+                },
+                {"kind": "none"},
+            ]
+        },
+    },
+    {
+        "id": "budget-starved-jammer",
+        "title": "Bernoulli jammer exhausting a small budget",
+        "description": (
+            "Heavy Bernoulli jamming (p=0.5) against a 120-packet batch, but "
+            "with only 60 jams in the budget: the attack dies mid-execution and "
+            "the (N+J)/S accounting must reflect the realised jams, not the rate."
+        ),
+        "protocols": ["low-sensing", "binary-exponential"],
+        "max_slots": 6000,
+        "replications": 3,
+        "base_seed": 241,
+        "tags": ["jamming", "budget"],
+        "arrivals": {"kind": "batch", "n": 120},
+        "jamming": {"kind": "bernoulli", "probability": 0.5, "budget": 60},
+    },
+    {
+        "id": "ramp-down-jamming",
+        "title": "Jamming pressure ramping down in phases",
+        "description": (
+            "A 100-packet batch under Bernoulli jamming that decays through "
+            "piecewise-constant phases (p=0.8 -> 0.4 -> 0.1 -> 0): measures how "
+            "quickly throughput recovers as the attack fades."
+        ),
+        "protocols": ["low-sensing", "binary-exponential", "polynomial"],
+        "max_slots": 6000,
+        "replications": 3,
+        "base_seed": 251,
+        "tags": ["jamming", "schedule", "ramp"],
+        "arrivals": {"kind": "batch", "n": 100},
+        "jamming": {
+            "phases": [
+                {"kind": "bernoulli", "probability": 0.8, "duration": 300},
+                {"kind": "bernoulli", "probability": 0.4, "duration": 300},
+                {"kind": "bernoulli", "probability": 0.1, "duration": 300},
+                {"kind": "none"},
+            ]
+        },
+    },
+    {
+        "id": "duty-cycle-jamming",
+        "title": "50% duty-cycle periodic burst jamming",
+        "description": (
+            "Poisson traffic against a jammer that blankets 50 of every 100 "
+            "slots: half the channel is structurally gone, and throughput "
+            "should degrade by a constant factor, not collapse."
+        ),
+        "protocols": ["low-sensing", "binary-exponential"],
+        "max_slots": 5000,
+        "replications": 3,
+        "base_seed": 261,
+        "tags": ["jamming", "duty-cycle"],
+        "arrivals": {"kind": "poisson", "rate": 0.08, "horizon": 2000},
+        "jamming": {"kind": "burst", "start": 0, "length": 50, "period": 100},
+    },
+    {
+        "id": "heavy-tail-batches",
+        "title": "Heavy-tailed batch sizes in escalating phases",
+        "description": (
+            "Successive batches of 20, 60 and 180 packets (a geometric tail): "
+            "each phase starts from the window state the previous batch left "
+            "behind, the regime the paper's monitoring analysis targets."
+        ),
+        "protocols": ["low-sensing", "binary-exponential", "polynomial"],
+        "max_slots": 6000,
+        "replications": 3,
+        "base_seed": 271,
+        "tags": ["arrivals", "schedule", "heavy-tail"],
+        "arrivals": {
+            "phases": [
+                {"kind": "batch", "n": 20, "duration": 500},
+                {"kind": "batch", "n": 60, "duration": 500},
+                {"kind": "batch", "n": 180, "duration": 800},
+                {"kind": "none"},
+            ]
+        },
+    },
+    {
+        "id": "queueing-with-periodic-jam",
+        "title": "Adversarial-queuing arrivals plus periodic jamming",
+        "description": (
+            "(lambda, S)-bounded front-loaded arrivals sharing the window "
+            "budget with a periodic jammer - the combined adversary of "
+            "Theorem 1.3's implicit-throughput guarantee."
+        ),
+        "protocols": ["low-sensing"],
+        "max_slots": 8000,
+        "replications": 3,
+        "base_seed": 281,
+        "tags": ["queueing", "jamming"],
+        "arrivals": {
+            "kind": "queueing",
+            "rate": 0.2,
+            "granularity": 100,
+            "placement": "front",
+            "horizon": 2000,
+            "jam_budget_fraction": 0.25,
+        },
+        "jamming": {"kind": "periodic", "period": 4, "budget": 500},
+    },
+    {
+        "id": "reactive-starvation",
+        "title": "Reactive success-jamming until the budget dies",
+        "description": (
+            "A reactive jammer converts every would-be success into noise "
+            "while its 40-jam budget lasts (Section 1.3): drain time stretches "
+            "by ~J slots but the average energy must stay polylogarithmic."
+        ),
+        "protocols": ["low-sensing", "full-sensing-mw"],
+        "max_slots": 8000,
+        "replications": 3,
+        "base_seed": 291,
+        "tags": ["jamming", "reactive", "budget"],
+        "arrivals": {"kind": "batch", "n": 80},
+        "jamming": {"kind": "reactive-success", "budget": 40},
+    },
+    {
+        "id": "adaptive-contention-attack",
+        "title": "Adaptive jamming of good-contention slots",
+        "description": (
+            "An adaptive jammer that reads every window and spends its budget "
+            "exactly on slots whose contention sits in the good regime - the "
+            "strongest non-reactive attack on throughput (Section 1.1)."
+        ),
+        "protocols": ["low-sensing", "sawtooth"],
+        "max_slots": 8000,
+        "replications": 3,
+        "base_seed": 301,
+        "tags": ["jamming", "adaptive", "budget"],
+        "arrivals": {"kind": "batch", "n": 100},
+        "jamming": {"kind": "adaptive-contention", "budget": 100, "target_regime": "good"},
+    },
+    {
+        "id": "alternating-burst-cadence",
+        "title": "Alternating burst cadences under a mid-run jam window",
+        "description": (
+            "Arrival bursts switch cadence mid-run (10 packets every 40 slots, "
+            "then 30 every 120) while a periodic jammer owns the middle third "
+            "of the execution - schedules on both adversary axes at once."
+        ),
+        "protocols": ["low-sensing", "binary-exponential"],
+        "max_slots": 5000,
+        "replications": 3,
+        "base_seed": 311,
+        "tags": ["arrivals", "jamming", "schedule"],
+        "arrivals": {
+            "phases": [
+                {"kind": "periodic-burst", "burst_size": 10, "period": 40, "duration": 800},
+                {"kind": "periodic-burst", "burst_size": 30, "period": 120, "duration": 800},
+                {"kind": "none"},
+            ]
+        },
+        "jamming": {
+            "phases": [
+                {"kind": "none", "duration": 400},
+                {"kind": "periodic", "period": 10, "duration": 800},
+                {"kind": "none"},
+            ]
+        },
+    },
+)
+
+
+@functools.cache
+def builtin_scenarios() -> dict[str, Scenario]:
+    """The catalog as ``{scenario_id: Scenario}``, validated on first use."""
+    catalog: dict[str, Scenario] = {}
+    for definition in _DEFINITIONS:
+        scenario = scenario_from_dict(definition, source=f"catalog:{definition['id']}")
+        if scenario.scenario_id in catalog:
+            raise ValueError(f"duplicate catalog scenario id {scenario.scenario_id!r}")
+        catalog[scenario.scenario_id] = scenario
+    return catalog
+
+
+def scenario_ids() -> list[str]:
+    """Sorted ids of all catalog scenarios."""
+    return sorted(builtin_scenarios())
+
+
+def get_scenario(scenario_id: str) -> Scenario:
+    """One catalog scenario by id (raises ``KeyError`` with the known ids)."""
+    catalog = builtin_scenarios()
+    try:
+        return catalog[scenario_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {scenario_id!r}; known: {', '.join(sorted(catalog))}"
+        ) from None

@@ -1,0 +1,150 @@
+"""The schedule DSL: piecewise time-varying adversary behaviour as data.
+
+The paper's guarantees are adversarial — they hold against *time-varying*
+arrival and jamming strategies, not just the stationary processes the
+stock experiments sweep.  A :class:`Schedule` expresses such a strategy as
+a sequence of :class:`Phase` objects, each pairing a component (an arrival
+process or a jammer) with a duration in slots: "Bernoulli jamming at rate
+0.9 for 500 slots, then silence for 500 slots, then a burst phase".
+
+Inside its phase a component sees *phase-local* slot indices (slot 0 is
+the first slot of the phase), so a phase's component is written exactly
+like a standalone process — a ``BurstJamming(start=0, length=50)`` phase
+jams the first 50 slots of *its phase*, wherever the phase lands in the
+execution.  The adapters that drive a schedule through the engines live in
+:mod:`repro.adversary.scheduled` (scalar) and
+:mod:`repro.sim.vector.adversaries` (lockstep batches).
+
+This module is a leaf: it knows nothing about engines, adversary base
+classes, or numpy, so every layer can import it freely.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One piece of a piecewise schedule: a component active for a duration.
+
+    ``duration`` is a positive number of slots, or ``None`` for an
+    open-ended phase (allowed only in the last position of a schedule).
+    The component is an arrival process or a jammer *instance*; schedules
+    built for sweep plans wrap phases in
+    :func:`~repro.experiments.plan.factory` calls instead, so each run
+    gets fresh component state.
+    """
+
+    component: Any
+    duration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration is not None:
+            if not isinstance(self.duration, int) or isinstance(self.duration, bool):
+                raise ValueError("phase duration must be an integer or None")
+            if self.duration <= 0:
+                raise ValueError("phase duration must be positive")
+
+    def describe(self) -> dict[str, Any]:
+        describe = getattr(self.component, "describe", None)
+        component = (
+            describe()
+            if callable(describe)
+            else {"type": type(self.component).__name__}
+        )
+        return {"component": component, "duration": self.duration}
+
+
+class Schedule:
+    """An ordered sequence of phases covering ``[0, total_duration)``.
+
+    Phases are laid back to back starting at slot 0.  Only the last phase
+    may be open-ended (``duration=None``); with a finite last phase the
+    schedule simply ends, and whatever drives it contributes nothing after
+    ``total_duration``.
+    """
+
+    def __init__(self, phases: Sequence[Phase]) -> None:
+        phases = tuple(phases)
+        if not phases:
+            raise ValueError("a schedule needs at least one phase")
+        starts: list[int] = []
+        offset = 0
+        for index, phase in enumerate(phases):
+            if not isinstance(phase, Phase):
+                raise TypeError(f"phase {index} is not a Phase: {phase!r}")
+            starts.append(offset)
+            if phase.duration is None:
+                if index != len(phases) - 1:
+                    raise ValueError(
+                        "only the last phase of a schedule may be open-ended"
+                    )
+            else:
+                offset += phase.duration
+        self.phases = phases
+        self._starts = starts
+        #: ``None`` when the last phase is open-ended.
+        self.total_duration: int | None = (
+            None if phases[-1].duration is None else offset
+        )
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def start_of(self, index: int) -> int:
+        """First slot of phase ``index``."""
+        return self._starts[index]
+
+    def end_of(self, index: int) -> int | None:
+        """One past the last slot of phase ``index`` (``None`` if open-ended)."""
+        duration = self.phases[index].duration
+        if duration is None:
+            return None
+        return self._starts[index] + duration
+
+    def phase_at(self, slot: int) -> tuple[int, int] | None:
+        """``(phase index, phase-local slot)`` for ``slot``, or ``None``.
+
+        ``None`` means the slot lies past the end of a finite schedule.
+        """
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        if self.total_duration is not None and slot >= self.total_duration:
+            return None
+        index = bisect_right(self._starts, slot) - 1
+        return index, slot - self._starts[index]
+
+    def segments(self, start: int, count: int) -> Iterator[tuple[int, int, int, int]]:
+        """Split ``[start, start + count)`` along phase boundaries.
+
+        Yields ``(phase_index, local_start, offset, length)`` per phase that
+        overlaps the range: ``local_start`` is the phase-local slot of the
+        segment's first slot and ``offset`` its position within the queried
+        range.  Slots past the end of a finite schedule are not covered by
+        any segment.
+        """
+        if start < 0 or count < 0:
+            raise ValueError("segment range must be non-negative")
+        end = start + count
+        for index, phase in enumerate(self.phases):
+            phase_start = self._starts[index]
+            phase_end = self.end_of(index)
+            segment_start = max(start, phase_start)
+            segment_end = end if phase_end is None else min(end, phase_end)
+            if segment_start >= segment_end:
+                continue
+            yield (
+                index,
+                segment_start - phase_start,
+                segment_start - start,
+                segment_end - segment_start,
+            )
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "phases": [phase.describe() for phase in self.phases],
+            "total_duration": self.total_duration,
+        }

@@ -34,6 +34,7 @@ from repro.adversary.jamming import (
     NoJamming,
     PeriodicJamming,
 )
+from repro.adversary.scheduled import ScheduledArrivals, ScheduledJamming
 from repro.sim.vector.rng import VectorStreams
 
 #: Slots of adversary schedule precomputed per chunk.
@@ -138,6 +139,41 @@ class PoissonArrivalsVector(VectorArrivals):
 
     def exhausted(self, slot: int) -> bool:
         return self._horizon is not None and slot >= self._horizon
+
+
+class ScheduledArrivalsVector(VectorArrivals):
+    """Piecewise schedule of arrival kernels, stitched along phase edges.
+
+    Each phase owns the kernel of its component; a chunk that spans a
+    phase boundary is assembled from per-phase sub-chunks queried at
+    *phase-local* slots, mirroring the scalar adapter's local-clock
+    semantics.  Chunk geometry is deterministic (the engine's fixed
+    ``CHUNK_SLOTS`` grid), so the randomness consumed per phase is a
+    deterministic function of the batch seeds.
+    """
+
+    def __init__(self, process: ScheduledArrivals, replications: int) -> None:
+        super().__init__(replications)
+        self._process = process
+        self._schedule = process.schedule
+        self._kernels = [
+            make_arrivals_kernel(phase.component, replications)
+            for phase in self._schedule.phases
+        ]
+
+    def chunk(self, start: int, count: int, streams: VectorStreams) -> np.ndarray:
+        counts = np.zeros((self.replications, count), dtype=np.int64)
+        for index, local_start, offset, length in self._schedule.segments(start, count):
+            counts[:, offset : offset + length] = self._kernels[index].chunk(
+                local_start, length, streams
+            )
+        return counts
+
+    def exhausted(self, slot: int) -> bool:
+        return self._process.exhausted(slot)
+
+    def capacity_bound(self) -> int | None:
+        return self._process.total_planned()
 
 
 # ---------------------------------------------------------------------------
@@ -246,12 +282,52 @@ class BernoulliJammingVector(VectorJammer):
         return self._apply_budget(decisions)
 
 
+class ScheduledJammingVector(VectorJammer):
+    """Piecewise schedule of jamming kernels with per-phase budgets.
+
+    Per-slot decisions dispatch to the active phase's kernel at the
+    phase-local slot; randomness for chunks that span a phase boundary is
+    pre-drawn per phase through :meth:`begin_chunk`, so each phase kernel
+    sees exactly the (local) slot range it will be asked about.  Budget
+    bookkeeping lives in the phase kernels (budgets are per phase, like
+    the scalar adapter); ``jams_used`` sums them.
+    """
+
+    def __init__(self, jammer: ScheduledJamming, replications: int) -> None:
+        super().__init__(jammer, replications)
+        self._schedule = jammer.schedule
+        self._kernels = [
+            make_jammer_kernel(phase.component, replications)
+            for phase in self._schedule.phases
+        ]
+        self.never_jams = all(kernel.never_jams for kernel in self._kernels)
+
+    def begin_chunk(self, start: int, count: int, streams: VectorStreams) -> None:
+        for index, local_start, _offset, length in self._schedule.segments(start, count):
+            self._kernels[index].begin_chunk(local_start, length, streams)
+
+    def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
+        located = self._schedule.phase_at(slot)
+        if located is None:
+            return self._false
+        index, local_slot = located
+        return self._kernels[index].jam(local_slot, backlog_pre, running)
+
+    def jams_used(self) -> np.ndarray:
+        used = np.zeros(self.replications, dtype=np.int64)
+        for kernel in self._kernels:
+            used += kernel.jams_used()
+        return used
+
+
 # ---------------------------------------------------------------------------
 # Factories
 # ---------------------------------------------------------------------------
 
 
 def make_arrivals_kernel(process: ArrivalProcess, replications: int) -> VectorArrivals:
+    if isinstance(process, ScheduledArrivals):
+        return ScheduledArrivalsVector(process, replications)
     if isinstance(process, NoArrivals):
         return NoArrivalsVector(process, replications)
     if isinstance(process, BatchArrivals):
@@ -264,6 +340,8 @@ def make_arrivals_kernel(process: ArrivalProcess, replications: int) -> VectorAr
 
 
 def make_jammer_kernel(jammer: Jammer, replications: int) -> VectorJammer:
+    if isinstance(jammer, ScheduledJamming):
+        return ScheduledJammingVector(jammer, replications)
     if isinstance(jammer, NoJamming):
         return NoJammingVector(jammer, replications)
     if isinstance(jammer, PeriodicJamming):

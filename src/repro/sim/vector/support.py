@@ -21,6 +21,13 @@ Eligibility is decided by an **exact type** match against the registries
 below *and* the declared ``vectorizable`` capability flag.  The flag
 documents intent on the class; the exact-type match protects against
 subclasses that override behaviour the kernels do not model.
+
+Piecewise schedules (:class:`~repro.adversary.scheduled.ScheduledArrivals`
+and :class:`~repro.adversary.scheduled.ScheduledJamming`) are vetted
+phase-by-phase: a schedule stays on the fast path exactly when every phase
+component would on its own — piecewise-constant compositions of
+vectorizable components vectorize, and the reported reason names the first
+offending phase otherwise.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from repro.adversary.jamming import (
     NoJamming,
     PeriodicJamming,
 )
+from repro.adversary.scheduled import ScheduledArrivals, ScheduledJamming
 from repro.protocols.binary_exponential import BinaryExponentialBackoff
 from repro.protocols.fixed_probability import FixedProbabilityProtocol, SlottedAloha
 from repro.protocols.polynomial_backoff import PolynomialBackoff
@@ -80,6 +88,39 @@ def protocol_support(protocol: Any) -> str | None:
     return f"protocol {type(protocol).__name__} has no vector kernel"
 
 
+def arrival_process_support(process: Any) -> str | None:
+    """``None`` if the arrival process has a vector schedule, else the reason.
+
+    Schedules recurse phase-by-phase, so the reason for a non-vectorizable
+    schedule names the offending phase (and, for nested schedules, the
+    whole phase path).
+    """
+    if type(process) is ScheduledArrivals:
+        for index, phase in enumerate(process.schedule.phases):
+            reason = arrival_process_support(phase.component)
+            if reason is not None:
+                return f"arrival schedule phase {index}: {reason}"
+        return None
+    if _eligible(process, VECTOR_ARRIVALS):
+        return None
+    return f"arrival process {type(process).__name__} has no vector schedule"
+
+
+def jammer_support(jammer: Any) -> str | None:
+    """``None`` if the jammer has a vector kernel, else the reason not."""
+    if type(jammer) is ScheduledJamming:
+        if jammer.reactive:
+            return "jamming schedule contains a reactive phase"
+        for index, phase in enumerate(jammer.schedule.phases):
+            reason = jammer_support(phase.component)
+            if reason is not None:
+                return f"jamming schedule phase {index}: {reason}"
+        return None
+    if _eligible(jammer, VECTOR_JAMMERS):
+        return None
+    return f"jammer {type(jammer).__name__} has no vector kernel"
+
+
 def adversary_support(adversary: Any) -> str | None:
     """``None`` if the adversary decomposes into vectorizable parts."""
     if not isinstance(adversary, CompositeAdversary):
@@ -89,14 +130,10 @@ def adversary_support(adversary: Any) -> str | None:
         )
     if getattr(adversary, "reactive", False):
         return "reactive jammers observe the current slot's senders"
-    if not _eligible(adversary.arrival_process, VECTOR_ARRIVALS):
-        return (
-            f"arrival process {type(adversary.arrival_process).__name__} "
-            "has no vector schedule"
-        )
-    if not _eligible(adversary.jammer, VECTOR_JAMMERS):
-        return f"jammer {type(adversary.jammer).__name__} has no vector kernel"
-    return None
+    reason = arrival_process_support(adversary.arrival_process)
+    if reason is not None:
+        return reason
+    return jammer_support(adversary.jammer)
 
 
 def config_support(config: Any) -> str | None:

@@ -15,6 +15,25 @@ class TestList:
             assert exp_id in out
         assert "benchmarks/bench_e1_throughput_batch.py" in out
 
+    def test_lists_scenarios_too(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenarios" in out
+        assert "onoff-jamming" in out
+
+    def test_json_listing_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        experiment_ids = [row["id"] for row in payload["experiments"]]
+        assert experiment_ids == sorted(experiment_ids)
+        assert "E1" in experiment_ids and len(experiment_ids) == 10
+        scenarios = payload["scenarios"]
+        assert len(scenarios) >= 10
+        for row in scenarios:
+            assert row["id"] and row["title"]
+            assert isinstance(row["protocols"], list)
+            assert len(row["content_hash"]) == 64
+
 
 class TestRun:
     def test_run_writes_json_report(self, tmp_path, capsys):
@@ -117,3 +136,145 @@ class TestRun:
     def test_bad_seeds_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "e1", "--seeds", "one,two"])
+
+
+class TestScenario:
+    def test_scenario_list_json(self, capsys):
+        assert main(["scenario", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["scenarios"]) >= 10
+
+    def test_scenario_show_includes_vector_support(self, capsys):
+        assert main(["scenario", "show", "onoff-jamming"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["id"] == "onoff-jamming"
+        assert payload["vector_support"]["binary-exponential"] == "vectorizable"
+        assert "no vector kernel" in payload["vector_support"]["low-sensing"]
+
+    def test_scenario_show_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "show", "no-such-scenario"])
+
+    def test_scenario_run_writes_json_report(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        code = main(
+            [
+                "scenario", "run", "budget-starved-jammer",
+                "--scale", "smoke",
+                "--seeds", "11",
+                "--out", str(out_dir),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(
+            (out_dir / "scenario-budget-starved-jammer.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        assert payload["experiment"] == "budget-starved-jammer"
+        assert payload["scenario"]["id"] == "budget-starved-jammer"
+        assert payload["seeds"] == [11]
+        assert payload["scale"] == "smoke"
+        assert len(payload["content_hash"]) == 64
+        assert payload["rows"] and payload["verdicts"]
+        rendered = capsys.readouterr().out
+        assert "budget-starved-jammer" in rendered
+
+    def test_scenario_run_vector_backend_reports_split(self, tmp_path):
+        out_dir = tmp_path / "results"
+        code = main(
+            [
+                "scenario", "run", "ramp-down-jamming",
+                "--scale", "smoke",
+                "--backend", "vector",
+                "--out", str(out_dir),
+                "--bench-out", str(tmp_path / "BENCH.json"),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(
+            (out_dir / "scenario-ramp-down-jamming.json").read_text(encoding="utf-8")
+        )
+        backend = payload["backend"]
+        assert backend["backend"] == "vector"
+        assert backend["vectorized_jobs"] > 0  # BEB + polynomial groups
+        assert backend["fallback_jobs"] > 0  # low-sensing group
+        bench = json.loads((tmp_path / "BENCH.json").read_text(encoding="utf-8"))
+        assert bench["scenario:ramp-down-jamming"]["latest"]["content_hash"]
+
+    def test_scenario_run_from_file(self, tmp_path, capsys):
+        path = tmp_path / "mine.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "id": "cli-file-scenario",
+                    "title": "CLI file scenario",
+                    "protocols": ["binary-exponential"],
+                    "max_slots": 400,
+                    "arrivals": {"kind": "batch", "n": 8},
+                }
+            )
+        )
+        assert main(["scenario", "run", str(path), "--scale", "smoke", "--seeds", "3"]) == 0
+        assert "cli-file-scenario" in capsys.readouterr().out
+
+    def test_scenario_run_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "no-such-scenario"])
+
+    def test_scenario_run_conflicting_duplicate_ids_rejected(self, tmp_path, capsys):
+        definition = {
+            "id": "dup",
+            "title": "Duplicate",
+            "protocols": ["binary-exponential"],
+            "max_slots": 400,
+            "arrivals": {"kind": "batch", "n": 5},
+        }
+        first = tmp_path / "a.json"
+        first.write_text(json.dumps(definition))
+        second = tmp_path / "b.json"
+        second.write_text(json.dumps({**definition, "max_slots": 500}))
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", str(first), str(second), "--scale", "smoke"])
+        assert "requested twice" in capsys.readouterr().err
+
+    def test_unwritable_out_dir_fails_before_running(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "e1", "--scale", "smoke", "--out", "/proc/nope/results"])
+        assert "cannot create --out" in capsys.readouterr().err
+
+
+class TestEquivalence:
+    def test_default_core_passes(self, capsys):
+        code = main(["equivalence", "--replications", "6", "--batch-sizes", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all configurations passed" in out
+        assert "binary-exponential" in out
+
+    def test_scenario_mode_passes(self, capsys):
+        code = main(
+            [
+                "equivalence",
+                "--scenario", "ramp-down-jamming",
+                "--scale", "smoke",
+                "--replications", "8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ramp-down-jamming [binary-exponential]" in out
+
+    def test_scenario_without_vectorizable_group_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["equivalence", "--scenario", "reactive-starvation", "--scale", "smoke"])
+
+    def test_bad_replications_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["equivalence", "--replications", "0"])
+
+    def test_bad_batch_sizes_rejected(self, capsys):
+        for raw in ("-5", "0", "fifty"):
+            with pytest.raises(SystemExit):
+                main(["equivalence", "--batch-sizes", raw])
+            assert "--batch-sizes" in capsys.readouterr().err
