@@ -59,6 +59,7 @@ from repro.exec import (
     VectorBackend,
     make_backend,
 )
+from repro.campaigns import resume_campaign, start_campaign
 from repro.queueing import QueueingConstraint
 from repro.scenarios.schedule import Phase, Schedule
 from repro.sim import (
@@ -68,6 +69,7 @@ from repro.sim import (
     replicate,
     run_simulation,
 )
+from repro.store import ResultsStore
 
 __version__ = "1.0.0"
 
@@ -95,6 +97,7 @@ __all__ = [
     "ProcessPoolBackend",
     "QueueingConstraint",
     "ResultCacheBackend",
+    "ResultsStore",
     "Schedule",
     "ScheduledArrivals",
     "ScheduledJamming",
@@ -112,6 +115,8 @@ __all__ = [
     "get_protocol",
     "make_backend",
     "replicate",
+    "resume_campaign",
     "run_simulation",
+    "start_campaign",
     "__version__",
 ]

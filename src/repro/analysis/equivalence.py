@@ -11,11 +11,12 @@ Two complementary checks are applied per metric:
 
 * **replicate-level agreement** — the replicate means of a headline metric
   (throughput, mean channel accesses, mean latency) are compared with a
-  Welch two-sample z-test at a deliberately small ``mean_alpha``; a
+  Welch two-sample t-test (Welch–Satterthwaite df) at a deliberately
+  small ``mean_alpha``; a
   relative tolerance covers the degenerate cases (zero variance, fewer
   than two replicates) where the test is undefined.  The small alpha
   matters because drain-time-driven metrics are heavy-tailed, so at
-  10–20 replicates the normal approximation under-covers and a loose
+  10–20 replicates even the t-approximation under-covers and a loose
   threshold would reject genuinely equivalent engine pairs;
 * **distribution-level agreement** — per-packet distributions (latency,
   channel accesses) pooled across replicates are compared with a two-sample
@@ -32,6 +33,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.analysis.statistics import welch_t_test
 from repro.sim.results import SimulationResult
 
 
@@ -182,6 +184,7 @@ def compare_result_sets(
     alpha: float = 0.001,
     mean_alpha: float = 0.002,
     relative_tolerance: float = 0.15,
+    labels: tuple[str, str] = ("scalar", "vector"),
 ) -> EquivalenceReport:
     """Check that two replicated result sets agree statistically.
 
@@ -194,6 +197,10 @@ def compare_result_sets(
     of magnitude below any sane threshold).  ``relative_tolerance`` is the
     fallback agreement criterion for replicate means when the Welch test
     is undefined (zero variance, fewer than two replicates).
+
+    ``labels`` names the two sides in rendered details; ``campaign diff``
+    reuses this machinery to compare two stored campaigns, where
+    "scalar"/"vector" would be misleading.
     """
     if not scalar_results or not vector_results:
         raise ValueError("both result sets must be non-empty")
@@ -207,7 +214,7 @@ def compare_result_sets(
             report.notes.append(f"{metric}: skipped ({exc})")
             continue
         report.comparisons.append(
-            _compare_means(metric, left, right, mean_alpha, relative_tolerance)
+            _compare_means(metric, left, right, mean_alpha, relative_tolerance, labels)
         )
 
     for metric, pool in POOLED_METRICS.items():
@@ -237,44 +244,48 @@ def _compare_means(
     right: list[float],
     mean_alpha: float,
     relative_tolerance: float,
+    labels: tuple[str, str] = ("scalar", "vector"),
 ) -> MetricComparison:
+    left_label, right_label = labels
     n1, n2 = len(left), len(right)
     left_mean = sum(left) / n1
     right_mean = sum(right) / n2
     scale = max(abs(left_mean), abs(right_mean), 1e-12)
     relative_difference = abs(left_mean - right_mean) / scale
     if n1 >= 2 and n2 >= 2:
-        left_var = sum((x - left_mean) ** 2 for x in left) / (n1 - 1)
-        right_var = sum((x - right_mean) ** 2 for x in right) / (n2 - 1)
-        standard_error = math.sqrt(left_var / n1 + right_var / n2)
-        if standard_error == 0.0:
+        try:
+            # Welch's t with Welch–Satterthwaite df, not a normal z: at the
+            # replicate counts campaigns and the harness actually run
+            # (2–24 per side), the normal approximation overstates
+            # significance by orders of magnitude and flags genuinely
+            # equivalent result sets.
+            t, df, p_value = welch_t_test(left, right)
+        except ValueError:
             # Degenerate (zero-variance) metric: the test statistic is
             # undefined and exact equality would be too strict across
             # random-stream layouts — fall back to the relative tolerance.
             passed = relative_difference <= relative_tolerance
             detail = (
-                f"scalar {left_mean:.4f} vs vector {right_mean:.4f} "
+                f"{left_label} {left_mean:.4f} vs {right_label} {right_mean:.4f} "
                 f"(zero variance; relative diff {relative_difference:.3f}, "
                 f"tolerance {relative_tolerance})"
             )
         else:
-            z = (left_mean - right_mean) / standard_error
-            p_value = math.erfc(abs(z) / math.sqrt(2.0))
             passed = p_value > mean_alpha
             detail = (
-                f"scalar {left_mean:.4f} vs vector {right_mean:.4f} "
-                f"(z={z:.2f}, p={p_value:.4f}, alpha={mean_alpha}, "
+                f"{left_label} {left_mean:.4f} vs {right_label} {right_mean:.4f} "
+                f"(t={t:.2f}, df={df:.1f}, p={p_value:.4f}, alpha={mean_alpha}, "
                 f"n={n1}/{n2})"
             )
     else:
         passed = relative_difference <= relative_tolerance
         detail = (
-            f"scalar {left_mean:.4f} vs vector {right_mean:.4f} "
+            f"{left_label} {left_mean:.4f} vs {right_label} {right_mean:.4f} "
             f"(relative diff {relative_difference:.3f}, "
             f"tolerance {relative_tolerance})"
         )
     return MetricComparison(
-        metric=metric, method="welch-z", passed=passed, detail=detail
+        metric=metric, method="welch-t", passed=passed, detail=detail
     )
 
 

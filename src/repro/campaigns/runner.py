@@ -1,0 +1,483 @@
+"""The checkpointed, resumable campaign runner.
+
+Execution model
+---------------
+
+A campaign's plan is partitioned into **units**, the checkpoint granularity:
+
+* a replication group that the vector engine can batch (when the campaign
+  runs on the ``vector`` backend) is **one unit** — the whole lockstep
+  batch runs or re-runs together, because a vectorized result is a
+  deterministic function of the entire ordered batch (see
+  :func:`repro.experiments.plan.batch_signature`), not of its own spec;
+* every other spec is individually deterministic, so scalar runs are
+  chunked into units of ``checkpoint_every`` and each run can be skipped
+  or re-run on its own.
+
+After a unit executes, its results are written to the store and its
+membership rows committed in one transaction.  A kill therefore loses at
+most the unit in flight; everything committed is durable, every store
+write is idempotent (content-addressed artifacts, insert-or-ignore
+registry rows), and a resumed campaign re-runs only what is missing —
+producing a store bit-identical (by :meth:`~repro.store.ResultsStore.fingerprint`)
+to an uninterrupted run.
+
+Deterministic interruption for tests and benchmarks: ``fail_after_units=N``
+(or the ``REPRO_CAMPAIGN_FAIL_AFTER_UNITS`` environment variable for the
+CLI) raises :class:`CampaignInterrupted` after the N-th unit commit, which
+is observably equivalent to a hard kill at that unit boundary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.exec.backends import ExecutionBackend, ProcessPoolBackend, SerialBackend
+from repro.experiments.plan import RunSpec, SweepPlan, batch_signature
+from repro.experiments.spec import ExperimentReport, ExperimentSpec
+from repro.store import METRIC_COLUMNS, ResultsStore
+
+#: Scalar runs committed per checkpoint transaction.
+DEFAULT_CHECKPOINT_EVERY = 8
+
+#: Backends a campaign can execute on (the cache wrapper is implicit — the
+#: store *is* the campaign's persistence layer).
+CAMPAIGN_BACKENDS = ("serial", "processes", "vector")
+
+
+class CampaignError(ValueError):
+    """A campaign request is malformed or refers to unknown state."""
+
+
+class CampaignInterrupted(RuntimeError):
+    """Raised by the deterministic interruption hook after a unit commit."""
+
+    def __init__(self, campaign_id: str, units_done: int) -> None:
+        super().__init__(
+            f"campaign {campaign_id!r} interrupted after {units_done} unit(s) "
+            "(fail_after_units hook)"
+        )
+        self.campaign_id = campaign_id
+        self.units_done = units_done
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """What one ``run``/``resume`` invocation did."""
+
+    campaign_id: str
+    status: str  # "complete" or "running"
+    total_runs: int
+    executed_runs: int
+    skipped_runs: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class _Unit:
+    group_id: int
+    protocol: str
+    indices: tuple[int, ...]
+    layout: str
+    vectorized: bool
+
+
+def default_campaign_id(
+    scenario_id: str, scenario_hash: str, scale: str, seeds: Sequence[int], backend: str
+) -> str:
+    """Deterministic campaign id: scenario slug + digest of the full request."""
+    import hashlib
+    import json
+
+    payload = json.dumps(
+        [scenario_hash, scale, list(seeds), backend], separators=(",", ":")
+    )
+    return f"{scenario_id}-{hashlib.sha256(payload.encode()).hexdigest()[:8]}"
+
+
+def _partition_units(
+    plan: SweepPlan, backend_name: str, checkpoint_every: int
+) -> tuple[list[_Unit], list[str]]:
+    """Cut the plan into checkpoint units; returns (units, spec hashes)."""
+    specs = plan.specs
+    hashes: list[str | None] = [spec.cache_key() for spec in specs]
+    for index, spec_hash in enumerate(hashes):
+        if spec_hash is None:
+            raise CampaignError(
+                f"spec {index} has no stable content hash (cache_key() is None); "
+                "campaigns require fully declarative RunSpecs"
+            )
+    units: list[_Unit] = []
+    for group in plan.groups:
+        group_specs = [specs[index] for index in group.spec_indices]
+        vectorize = (
+            backend_name == "vector" and group_specs[0].vector_support() is None
+        )
+        if vectorize:
+            signature = batch_signature(group_specs)
+            assert signature is not None  # hashes checked above
+            units.append(
+                _Unit(
+                    group_id=group.group_id,
+                    protocol=group.protocol_name,
+                    indices=tuple(group.spec_indices),
+                    layout=f"vector:{signature}",
+                    vectorized=True,
+                )
+            )
+        else:
+            indices = list(group.spec_indices)
+            for start in range(0, len(indices), checkpoint_every):
+                units.append(
+                    _Unit(
+                        group_id=group.group_id,
+                        protocol=group.protocol_name,
+                        indices=tuple(indices[start : start + checkpoint_every]),
+                        layout="scalar",
+                        vectorized=False,
+                    )
+                )
+    return units, hashes  # type: ignore[return-value]
+
+
+def _scalar_backend(backend_name: str, workers: int | None) -> ExecutionBackend:
+    if backend_name == "processes":
+        return ProcessPoolBackend(workers=workers)
+    # The vector backend's scalar fallback is serial execution, so campaign
+    # scalar units under --backend vector take exactly that path.
+    return SerialBackend()
+
+
+def _run_vector_unit(specs: list[RunSpec]):
+    from repro.sim.vector import VectorSimulator
+
+    return VectorSimulator.from_specs(specs).run()
+
+
+def _execute(
+    store: ResultsStore,
+    plan: SweepPlan,
+    campaign_id: str,
+    *,
+    backend_name: str,
+    scenario_hash: str | None,
+    workers: int | None,
+    checkpoint_every: int,
+    fail_after_units: int | None,
+) -> CampaignOutcome:
+    if backend_name == "processes":
+        # A checkpoint unit is also one pool invocation, so a unit smaller
+        # than the pool would cap concurrency at checkpoint_every and pay
+        # pool startup per handful of runs.  Durability granularity is
+        # traded up to the pool width — the natural floor, since a full
+        # pool finishes ~workers runs per wave anyway.
+        import os as _os
+
+        checkpoint_every = max(checkpoint_every, workers or _os.cpu_count() or 1)
+    units, hashes = _partition_units(plan, backend_name, checkpoint_every)
+    specs = plan.specs
+    scalar_backend = _scalar_backend(backend_name, workers)
+    executed = 0
+    skipped = 0
+    total_elapsed = 0.0
+    units_done = 0
+    for unit in units:
+        pending = [
+            index
+            for index in unit.indices
+            if not store.has_run(hashes[index], specs[index].seed, unit.layout)
+        ]
+        if unit.vectorized and pending:
+            # A vector batch is all-or-nothing: partially stored runs (a
+            # kill between artifact writes) are simply re-produced — the
+            # re-run is bit-identical, so the store converges.
+            pending = list(unit.indices)
+        started = time.perf_counter()
+        if pending:
+            pending_specs = [specs[index] for index in pending]
+            if unit.vectorized:
+                results = _run_vector_unit(pending_specs)
+            else:
+                results = scalar_backend.run(pending_specs)
+            for index, result in zip(pending, results):
+                store.put_run(
+                    hashes[index],
+                    specs[index].seed,
+                    unit.layout,
+                    result,
+                    scenario_hash=scenario_hash,
+                    source="campaign",
+                )
+        elapsed = time.perf_counter() - started
+        store.record_campaign_unit(
+            campaign_id,
+            [
+                (
+                    index,
+                    unit.group_id,
+                    unit.protocol,
+                    hashes[index],
+                    specs[index].seed,
+                    unit.layout,
+                )
+                for index in unit.indices
+            ],
+            elapsed_seconds=elapsed,
+        )
+        executed += len(pending)
+        skipped += len(unit.indices) - len(pending)
+        total_elapsed += elapsed
+        units_done += 1
+        if fail_after_units is not None and units_done >= fail_after_units:
+            if units_done < len(units):
+                raise CampaignInterrupted(campaign_id, units_done)
+    store.finish_campaign(campaign_id)
+    return CampaignOutcome(
+        campaign_id=campaign_id,
+        status="complete",
+        total_runs=len(specs),
+        executed_runs=executed,
+        skipped_runs=skipped,
+        elapsed_seconds=total_elapsed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def start_campaign(
+    store: ResultsStore,
+    scenario,
+    *,
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend_name: str = "serial",
+    workers: int | None = None,
+    campaign_id: str | None = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    fail_after_units: int | None = None,
+) -> CampaignOutcome:
+    """Create and execute a new campaign for ``scenario``.
+
+    The scenario definition, resolved seed list, scale, and backend are
+    recorded in the store so :func:`resume_campaign` can rebuild the exact
+    same plan later — including from a different process after a kill.
+    """
+    from repro.scenarios.runner import build_plan, scenario_seeds
+
+    if backend_name not in CAMPAIGN_BACKENDS:
+        raise CampaignError(
+            f"unknown campaign backend {backend_name!r}; "
+            f"expected one of {CAMPAIGN_BACKENDS}"
+        )
+    if checkpoint_every < 1:
+        raise CampaignError("checkpoint_every must be at least 1")
+    if workers is not None and workers <= 0:
+        # Checked here, before the campaign row is created: a backend
+        # constructor raising later would strand a 'running' campaign.
+        raise CampaignError("workers must be positive")
+    seed_list = scenario_seeds(scenario, scale, seeds)
+    scenario_hash = scenario.content_hash()
+    if campaign_id is None:
+        campaign_id = default_campaign_id(
+            scenario.scenario_id, scenario_hash, scale, seed_list, backend_name
+        )
+    existing = store.get_campaign(campaign_id)
+    if existing is not None:
+        raise CampaignError(
+            f"campaign {campaign_id!r} already exists "
+            f"(status {existing['status']}); use resume"
+        )
+    plan = build_plan(scenario, scale, seed_list)
+    store.create_campaign(
+        campaign_id,
+        scenario_id=scenario.scenario_id,
+        scenario_hash=scenario_hash,
+        definition=scenario.to_dict(),
+        scale=scale,
+        seeds=seed_list,
+        backend=backend_name,
+        total_runs=len(plan),
+    )
+    return _execute(
+        store,
+        plan,
+        campaign_id,
+        backend_name=backend_name,
+        scenario_hash=scenario_hash,
+        workers=workers,
+        checkpoint_every=checkpoint_every,
+        fail_after_units=fail_after_units,
+    )
+
+
+def resume_campaign(
+    store: ResultsStore,
+    campaign_id: str,
+    *,
+    workers: int | None = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    fail_after_units: int | None = None,
+) -> CampaignOutcome:
+    """Complete an interrupted campaign (no-op when already complete).
+
+    The plan is rebuilt deterministically from the stored scenario
+    definition + seeds + scale; runs already in the store are skipped, so
+    the finished store is bit-identical to an uninterrupted run's.
+    """
+    import json
+
+    from repro.scenarios.runner import build_plan
+    from repro.scenarios.spec import scenario_from_dict
+
+    row = store.get_campaign(campaign_id)
+    if row is None:
+        known = ", ".join(c["campaign_id"] for c in store.list_campaigns()) or "(none)"
+        raise CampaignError(
+            f"unknown campaign {campaign_id!r}; known campaigns: {known}"
+        )
+    if workers is not None and workers <= 0:
+        raise CampaignError("workers must be positive")
+    if row["status"] == "complete":
+        return CampaignOutcome(
+            campaign_id=campaign_id,
+            status="complete",
+            total_runs=row["total_runs"],
+            executed_runs=0,
+            skipped_runs=row["total_runs"],
+            elapsed_seconds=0.0,
+        )
+    if not row["definition"]:
+        raise CampaignError(
+            f"campaign {campaign_id!r} has no stored scenario definition "
+            "and cannot be resumed from the CLI"
+        )
+    scenario = scenario_from_dict(
+        json.loads(row["definition"]), source=f"campaign:{campaign_id}"
+    )
+    if scenario.content_hash() != row["scenario_hash"]:
+        raise CampaignError(
+            f"campaign {campaign_id!r}: stored definition no longer matches its "
+            "recorded content hash; refusing to resume against different science"
+        )
+    seeds = json.loads(row["seeds"])
+    plan = build_plan(scenario, row["scale"], seeds)
+    if len(plan) != row["total_runs"]:
+        raise CampaignError(
+            f"campaign {campaign_id!r}: rebuilt plan has {len(plan)} runs but "
+            f"{row['total_runs']} were recorded; code drift detected"
+        )
+    return _execute(
+        store,
+        plan,
+        campaign_id,
+        backend_name=row["backend"],
+        scenario_hash=row["scenario_hash"],
+        workers=workers,
+        checkpoint_every=checkpoint_every,
+        fail_after_units=fail_after_units,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+def campaign_status_rows(store: ResultsStore) -> list[dict[str, Any]]:
+    """One summary row per campaign: progress, backend, timing."""
+    rows = []
+    for campaign in store.list_campaigns():
+        done = store.campaign_run_count(campaign["campaign_id"])
+        rows.append(
+            {
+                "campaign_id": campaign["campaign_id"],
+                "scenario_id": campaign["scenario_id"],
+                "scenario_hash": campaign["scenario_hash"],
+                "scale": campaign["scale"],
+                "backend": campaign["backend"],
+                "status": campaign["status"],
+                "runs_done": done,
+                "total_runs": campaign["total_runs"],
+                "elapsed_seconds": round(campaign["elapsed_seconds"] or 0.0, 4),
+                "created_at": campaign["created_at"],
+            }
+        )
+    return rows
+
+
+def campaign_report(store: ResultsStore, campaign_id: str) -> ExperimentReport:
+    """Aggregate a stored campaign into a standard experiment report.
+
+    Rows are computed from the registry's metric columns alone — no
+    artifact is unpickled — which is the payoff of storing summaries as
+    columns.  One row per replication group, replicate means per metric,
+    mirroring :func:`repro.experiments.plan.aggregate_replicate_row`.
+    """
+    campaign = store.get_campaign(campaign_id)
+    if campaign is None:
+        raise CampaignError(f"unknown campaign {campaign_id!r}")
+    memberships = store.campaign_run_rows(campaign_id)
+    report = ExperimentReport(
+        spec=ExperimentSpec(
+            exp_id=campaign_id,
+            title=f"Campaign {campaign_id} ({campaign['scenario_id']})",
+            claim="stored replication campaign",
+            bench_target=f"python -m repro campaign show {campaign_id}",
+        )
+    )
+    by_group: dict[int, list[dict[str, Any]]] = {}
+    unbacked = 0
+    for membership in memberships:
+        run = store.get_run(
+            membership["spec_hash"], membership["seed"], membership["backend_layout"]
+        )
+        if run is None:
+            unbacked += 1
+            continue
+        by_group.setdefault(membership["group_id"], []).append(
+            {"protocol": membership["protocol"], **run.metrics}
+        )
+    # Report-row names for the count-style columns (matching the rows
+    # `aggregate_replicate_row` produces); everything else keeps its
+    # METRIC_COLUMNS name and is averaged over replicates.
+    renames = {"num_arrivals": "arrivals", "num_delivered": "delivered"}
+    for group_id in sorted(by_group):
+        runs = by_group[group_id]
+        count = len(runs)
+        row: dict[str, Any] = {
+            "protocol": runs[0]["protocol"],
+            "scenario": campaign["scenario_id"],
+            "replicates": count,
+        }
+        for metric in METRIC_COLUMNS:
+            if metric == "drained":
+                row["drained"] = all(run["drained"] for run in runs)
+            elif metric == "num_slots":
+                continue  # a horizon setting, not an outcome worth a column
+            else:
+                row[renames.get(metric, metric)] = (
+                    sum(run[metric] for run in runs) / count
+                )
+        report.add_row(row)
+    for row in report.rows:
+        report.verdicts[f"{row['protocol']}_throughput"] = f"{row['throughput']:.3f}"
+    done = len(memberships)
+    report.notes.append(
+        f"status={campaign['status']}: {done}/{campaign['total_runs']} runs recorded "
+        f"on backend {campaign['backend']} at scale {campaign['scale']}"
+    )
+    if unbacked:
+        # Aggregates above silently averaged over fewer replicates; say so
+        # loudly — a registry row behind a recorded membership is gone,
+        # which means the store has been damaged or over-pruned.
+        report.notes.append(
+            f"WARNING: {unbacked} recorded run(s) have no registry row; "
+            "aggregates cover fewer replicates (store damaged or pruned?)"
+        )
+    report.notes.append(f"scenario content hash: {(campaign['scenario_hash'] or '')[:12]}")
+    return report

@@ -40,6 +40,33 @@ Subcommands:
     vectorizable E1 batch core, or on a scenario's vectorizable groups
     with ``--scenario``.  Exits non-zero when any comparison fails.
 
+``campaign``
+    Durable, resumable replication campaigns over the results store
+    (:mod:`repro.store` / :mod:`repro.campaigns`)::
+
+        python -m repro campaign run onoff-jamming --backend vector --store runs/
+        python -m repro campaign resume onoff-jamming-1a2b3c4d --store runs/
+        python -m repro campaign status --store runs/ --json
+        python -m repro campaign show onoff-jamming-1a2b3c4d --store runs/
+        python -m repro campaign diff CAMPAIGN_A CAMPAIGN_B --store runs/
+
+    ``run`` checkpoints progress per unit, so a killed campaign resumes
+    with ``resume`` and converges to a store bit-identical to an
+    uninterrupted run.  ``diff`` compares two campaigns metric-by-metric
+    (Welch/KS) and exits non-zero on a statistical regression; with
+    ``--bench`` it instead checks the campaign's wall clock against
+    recorded BENCH history.
+
+``cache``
+    Operational tooling for the result cache / results store::
+
+        python -m repro cache stats --cache-dir .sim-cache
+        python -m repro cache prune --cache-dir .sim-cache --older-than-days 30
+
+    ``prune`` drops cache-sourced entries by age and/or total size
+    (campaign-recorded runs are never pruned) and sweeps orphaned
+    artifacts.
+
 Experiment ids are case-insensitive (``e3`` and ``E3`` both work).
 """
 
@@ -47,6 +74,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import time
 from typing import Iterable
@@ -179,6 +207,143 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N,N",
         help="batch sizes for the default E1-core check (default: 50,100)",
     )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="durable, resumable replication campaigns"
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _add_store_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store",
+            default=".repro-store",
+            metavar="DIR",
+            help="results-store directory (default: .repro-store)",
+        )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="start a new campaign for a scenario"
+    )
+    campaign_run.add_argument(
+        "scenario", metavar="NAME_OR_FILE", help="catalog name or .toml/.json path"
+    )
+    _add_store_option(campaign_run)
+    campaign_run.add_argument("--scale", default="default", choices=SCALES)
+    campaign_run.add_argument(
+        "--seeds", default=None, help="comma-separated replicate seeds"
+    )
+    campaign_run.add_argument(
+        "--backend",
+        default="serial",
+        choices=("serial", "processes", "vector"),
+        help="execution backend for the campaign's runs",
+    )
+    campaign_run.add_argument("--workers", type=int, default=None)
+    campaign_run.add_argument(
+        "--id",
+        dest="campaign_id",
+        default=None,
+        help="campaign id (default: derived from scenario hash + options)",
+    )
+    campaign_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scalar runs per checkpoint transaction (default: 8)",
+    )
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="complete an interrupted campaign"
+    )
+    campaign_resume.add_argument("campaign_id", metavar="CAMPAIGN_ID")
+    _add_store_option(campaign_resume)
+    campaign_resume.add_argument("--workers", type=int, default=None)
+    campaign_resume.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N"
+    )
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="list campaigns and their progress"
+    )
+    _add_store_option(campaign_status)
+    campaign_status.add_argument("--json", action="store_true")
+
+    campaign_show = campaign_sub.add_parser(
+        "show", help="render one stored campaign as a report"
+    )
+    campaign_show.add_argument("campaign_id", metavar="CAMPAIGN_ID")
+    _add_store_option(campaign_show)
+    campaign_show.add_argument("--json", action="store_true")
+
+    campaign_diff = campaign_sub.add_parser(
+        "diff",
+        help="compare two campaigns (or one campaign vs BENCH history); "
+        "non-zero exit on regression",
+    )
+    campaign_diff.add_argument("left", metavar="CAMPAIGN_A")
+    campaign_diff.add_argument(
+        "right",
+        metavar="CAMPAIGN_B",
+        nargs="?",
+        default=None,
+        help="second campaign (omit when using --bench)",
+    )
+    _add_store_option(campaign_diff)
+    campaign_diff.add_argument(
+        "--bench",
+        default=None,
+        metavar="PATH",
+        help="compare CAMPAIGN_A's wall clock against this BENCH history file",
+    )
+    campaign_diff.add_argument(
+        "--bench-id",
+        default=None,
+        help="bench entry id (default: campaign:<scenario_id>)",
+    )
+    campaign_diff.add_argument(
+        "--factor",
+        type=float,
+        default=1.5,
+        help="allowed wall-clock slowdown factor for --bench (default: 1.5)",
+    )
+    campaign_diff.add_argument("--alpha", type=float, default=0.001)
+    campaign_diff.add_argument("--mean-alpha", type=float, default=0.002)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect and prune the on-disk result cache"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="entry counts and sizes")
+    cache_stats.add_argument(
+        "--cache-dir", required=True, metavar="DIR", help="cache/store directory"
+    )
+    cache_stats.add_argument("--json", action="store_true")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="drop cache entries by age and/or total size"
+    )
+    cache_prune.add_argument("--cache-dir", required=True, metavar="DIR")
+    cache_prune.add_argument(
+        "--older-than-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="drop cache entries older than DAYS",
+    )
+    cache_prune.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="drop oldest cache entries until artifacts fit in BYTES",
+    )
+    cache_prune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without touching anything",
+    )
     return parser
 
 
@@ -308,6 +473,33 @@ def _prepare_out_dir(
     return out_dir
 
 
+def _prepare_bench_out(
+    raw: str | None, parser: argparse.ArgumentParser
+) -> pathlib.Path | None:
+    """Probe ``--bench-out`` writability before anything runs.
+
+    A sweep can run for hours; discovering an unwritable bench path only
+    when the first record merges would lose the whole run's timing.  The
+    probe opens the file for append (creating parents) and removes it
+    again if it did not exist, so an untouched path stays untouched.
+    """
+    if raw is None:
+        return None
+    path = pathlib.Path(raw)
+    try:
+        if path.is_dir():
+            raise IsADirectoryError(f"{raw!r} is a directory")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        existed = path.exists()
+        with path.open("a", encoding="utf-8"):
+            pass
+        if not existed:
+            path.unlink()
+    except OSError as exc:
+        parser.error(f"cannot write --bench-out {raw!r}: {exc}")
+    return path
+
+
 def _write_report_json(
     out_dir: pathlib.Path, name: str, payload: dict, label: str
 ) -> None:
@@ -323,17 +515,21 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     seeds = _parse_seeds(args.seeds, parser)
     build_backend = _backend_builder(args, parser)
     out_dir = _prepare_out_dir(args.out, parser)
+    _prepare_bench_out(args.bench_out, parser)
     for exp_id in ids:
         # A fresh backend per experiment keeps the counters it reports
         # (cache hits/misses, vectorized/fallback splits) attributed to
         # this experiment alone; the on-disk cache still persists across
         # experiments because it is keyed by directory, not by instance.
         backend = build_backend()
-        started = time.perf_counter()
-        report = ALL_EXPERIMENTS[exp_id](
-            scale=args.scale, seeds=seeds, backend=backend
-        )
-        elapsed = time.perf_counter() - started
+        try:
+            started = time.perf_counter()
+            report = ALL_EXPERIMENTS[exp_id](
+                scale=args.scale, seeds=seeds, backend=backend
+            )
+            elapsed = time.perf_counter() - started
+        finally:
+            backend.close()
         print(render_report(report))
         print(f"\n[{exp_id}] {elapsed:.2f}s on backend {backend.describe()}\n")
         if args.bench_out is not None:
@@ -412,13 +608,17 @@ def _command_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser)
                 f"(from {previous!r} and {argument!r})"
             )
     out_dir = _prepare_out_dir(args.out, parser)
+    _prepare_bench_out(args.bench_out, parser)
     for scenario in scenarios:
         backend = build_backend()
-        started = time.perf_counter()
-        report = run_scenario(
-            scenario, scale=args.scale, seeds=seeds, backend=backend
-        )
-        elapsed = time.perf_counter() - started
+        try:
+            started = time.perf_counter()
+            report = run_scenario(
+                scenario, scale=args.scale, seeds=seeds, backend=backend
+            )
+            elapsed = time.perf_counter() - started
+        finally:
+            backend.close()
         label = scenario.scenario_id
         print(render_report(report))
         print(f"\n[{label}] {elapsed:.2f}s on backend {backend.describe()}\n")
@@ -508,6 +708,249 @@ def _command_equivalence(
     return 0
 
 
+def _open_store(raw: str, parser: argparse.ArgumentParser, *, create: bool = False):
+    """Open the results store at ``raw``.
+
+    Only ``campaign run`` may create a store (``create=True``); every
+    read-side command requires one to exist already, so a mistyped
+    ``--store``/``--cache-dir`` is a loud error instead of a silently
+    created empty store reporting zero of everything.
+    """
+    import sqlite3
+
+    from repro.store import ResultsStore, StoreError
+
+    if not create and not (pathlib.Path(raw) / "store.db").exists():
+        parser.error(
+            f"no results store at {raw!r} (expected {raw}/store.db; "
+            "'campaign run' or a --cache-dir sweep creates one)"
+        )
+    try:
+        return ResultsStore(raw)
+    except (OSError, sqlite3.Error, StoreError) as exc:
+        parser.error(f"cannot open results store at {raw!r}: {exc}")
+
+
+def _print_outcome(outcome) -> None:
+    print(
+        f"[{outcome.campaign_id}] {outcome.status}: "
+        f"{outcome.executed_runs} executed, {outcome.skipped_runs} skipped "
+        f"of {outcome.total_runs} runs in {outcome.elapsed_seconds:.2f}s"
+    )
+
+
+def _fail_after_units_env(parser: argparse.ArgumentParser) -> int | None:
+    """Deterministic interruption hook for CI/smoke (unit count from env)."""
+    raw = os.environ.get("REPRO_CAMPAIGN_FAIL_AFTER_UNITS")
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+        if value < 1:
+            raise ValueError
+    except ValueError:
+        parser.error(
+            f"REPRO_CAMPAIGN_FAIL_AFTER_UNITS must be a positive integer, got {raw!r}"
+        )
+    return value
+
+
+def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.campaigns import (
+        CampaignError,
+        CampaignInterrupted,
+        campaign_report,
+        campaign_status_rows,
+        diff_campaign_vs_bench,
+        diff_campaigns,
+        resume_campaign,
+        start_campaign,
+    )
+    from repro.campaigns.runner import DEFAULT_CHECKPOINT_EVERY
+
+    # Validate everything that can fail cheaply BEFORE the store opens:
+    # `campaign run` creates the store directory, and a typo'd scenario
+    # name must not leave an empty store behind.
+    if args.campaign_command == "run":
+        from repro.scenarios.spec import ScenarioError, resolve_scenario
+
+        try:
+            scenario = resolve_scenario(args.scenario)
+        except ScenarioError as exc:
+            parser.error(str(exc))
+        seeds = _parse_seeds(args.seeds, parser)
+    if args.campaign_command in ("run", "resume"):
+        checkpoint = (
+            DEFAULT_CHECKPOINT_EVERY
+            if args.checkpoint_every is None
+            else args.checkpoint_every
+        )
+        if checkpoint < 1:
+            parser.error("--checkpoint-every must be at least 1")
+    with _open_store(
+        args.store, parser, create=args.campaign_command == "run"
+    ) as store:
+        try:
+            if args.campaign_command == "run":
+                outcome = start_campaign(
+                    store,
+                    scenario,
+                    scale=args.scale,
+                    seeds=seeds,
+                    backend_name=args.backend,
+                    workers=args.workers,
+                    campaign_id=args.campaign_id,
+                    checkpoint_every=checkpoint,
+                    fail_after_units=_fail_after_units_env(parser),
+                )
+                _print_outcome(outcome)
+                return 0
+
+            if args.campaign_command == "resume":
+                outcome = resume_campaign(
+                    store,
+                    args.campaign_id,
+                    workers=args.workers,
+                    checkpoint_every=checkpoint,
+                    fail_after_units=_fail_after_units_env(parser),
+                )
+                _print_outcome(outcome)
+                return 0
+
+            if args.campaign_command == "status":
+                rows = campaign_status_rows(store)
+                if args.json:
+                    print(
+                        json.dumps(
+                            {
+                                "campaigns": rows,
+                                "store_fingerprint": store.fingerprint(),
+                            },
+                            indent=2,
+                        )
+                    )
+                    return 0
+                if not rows:
+                    print("(no campaigns)")
+                    return 0
+                width = max(len(row["campaign_id"]) for row in rows)
+                for row in rows:
+                    print(
+                        f"{row['campaign_id']:<{width}}  {row['status']:<9} "
+                        f"{row['runs_done']}/{row['total_runs']} runs  "
+                        f"backend={row['backend']} scale={row['scale']} "
+                        f"{row['elapsed_seconds']:.2f}s"
+                    )
+                return 0
+
+            if args.campaign_command == "show":
+                report = campaign_report(store, args.campaign_id)
+                if args.json:
+                    payload = report_to_dict(report)
+                    payload["campaign"] = store.get_campaign(args.campaign_id)
+                    payload["store_fingerprint"] = store.fingerprint()
+                    print(json.dumps(payload, indent=2))
+                    return 0
+                print(render_report(report))
+                return 0
+
+            # campaign diff
+            if args.bench is not None:
+                if args.right is not None:
+                    parser.error("--bench compares one campaign; drop CAMPAIGN_B")
+                verdict = diff_campaign_vs_bench(
+                    store,
+                    args.left,
+                    args.bench,
+                    bench_id=args.bench_id,
+                    factor=args.factor,
+                )
+                status = "PASS" if verdict["passed"] else "REGRESSION"
+                print(
+                    f"campaign {verdict['campaign_id']} vs bench "
+                    f"{verdict['bench_id']}: {status} "
+                    f"({verdict['campaign_seconds']}s vs recorded "
+                    f"{verdict['recorded_seconds']}s, budget "
+                    f"{verdict['budget_seconds']}s)"
+                )
+                return 0 if verdict["passed"] else 1
+            if args.right is None:
+                parser.error("diff needs CAMPAIGN_B (or --bench PATH)")
+            diff = diff_campaigns(
+                store,
+                args.left,
+                right_id=args.right,
+                alpha=args.alpha,
+                mean_alpha=args.mean_alpha,
+            )
+            print(diff.render())
+            return 0 if diff.passed else 1
+        except CampaignInterrupted as exc:
+            # The deterministic interruption hook mimics a kill: report and
+            # exit non-zero so wrappers treat it as the crash it simulates.
+            print(str(exc))
+            return 1
+        except CampaignError as exc:
+            parser.error(str(exc))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _command_cache(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    # Open through the cache backend, not the raw store: an existing
+    # directory of legacy loose-pickle entries (no store.db yet) is
+    # exactly what these commands must be able to inspect and prune, and
+    # the backend's lazy open migrates those entries into the store.
+    # Only a missing directory is a hard error (mistyped path).
+    root = pathlib.Path(args.cache_dir)
+    if not root.is_dir():
+        parser.error(
+            f"no cache directory at {args.cache_dir!r} "
+            "(a --cache-dir sweep or 'campaign run' creates one)"
+        )
+    from repro.exec.cache import ResultCacheBackend
+
+    with ResultCacheBackend(root) as backend:
+        store = backend.store
+        if args.cache_command == "stats":
+            stats = store.stats()
+            if args.json:
+                print(json.dumps(stats, indent=2))
+                return 0
+            print(f"store: {stats['root']}")
+            print(
+                f"runs: {stats['runs']} "
+                f"(by source: {stats['runs_by_source'] or '{}'}; "
+                f"by layout: {stats['runs_by_layout'] or '{}'})"
+            )
+            print(f"campaigns: {stats['campaigns']}")
+            print(
+                f"artifacts: {stats['artifacts']} files, "
+                f"{stats['artifact_bytes']} bytes "
+                f"(registry: {stats['db_bytes']} bytes)"
+            )
+            return 0
+
+        # cache prune
+        if args.older_than_days is None and args.max_bytes is None:
+            parser.error("prune needs --older-than-days and/or --max-bytes")
+        if args.older_than_days is not None and args.older_than_days < 0:
+            parser.error("--older-than-days must be >= 0")
+        if args.max_bytes is not None and args.max_bytes < 0:
+            parser.error("--max-bytes must be >= 0")
+        removed = store.prune(
+            older_than_days=args.older_than_days,
+            max_bytes=args.max_bytes,
+            dry_run=args.dry_run,
+        )
+        prefix = "would remove" if removed["dry_run"] else "removed"
+        print(
+            f"{prefix} {removed['removed_runs']} cache entries and "
+            f"{removed['removed_artifacts']} artifacts "
+            f"({removed['removed_bytes']} bytes)"
+        )
+        return 0
+
+
 def main(argv: Iterable[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
@@ -517,6 +960,10 @@ def main(argv: Iterable[str] | None = None) -> int:
         return _command_scenario(args, parser)
     if args.command == "equivalence":
         return _command_equivalence(args, parser)
+    if args.command == "campaign":
+        return _command_campaign(args, parser)
+    if args.command == "cache":
+        return _command_cache(args, parser)
     return _command_run(args, parser)
 
 

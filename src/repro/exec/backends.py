@@ -88,6 +88,15 @@ class ExecutionBackend(abc.ABC):
         """A JSON-friendly snapshot of the backend configuration."""
         return {"backend": self.name}
 
+    def close(self) -> None:
+        """Release any resources the backend holds (no-op by default)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
 
 class SerialBackend(ExecutionBackend):
     """One job at a time, in-process.  The reference backend."""

@@ -1,10 +1,18 @@
-"""On-disk memoisation of simulation results.
+"""On-disk memoisation of simulation results, persisted in the results store.
 
 Simulations are deterministic functions of their specification, so a result
 can be reused whenever the exact same specification is run again — which
 happens constantly while iterating on experiment post-processing, report
 rendering, or verdict thresholds.  :class:`ResultCacheBackend` wraps any
 execution backend and short-circuits jobs whose results are already stored.
+
+Persistence lives in a :class:`~repro.store.ResultsStore` rooted at
+``cache_dir`` (a SQLite registry plus content-addressed artifacts), so
+cached results carry provenance (spec hash, code version, metrics), are
+queryable and prunable (``python -m repro cache stats|prune``), and share
+one durable layer with campaigns.  The hit/miss contract is unchanged from
+the old loose-pickle cache: a corrupt or unreadable artifact counts as a
+miss, is re-run, and is replaced by a fresh entry.
 
 Only jobs that expose a stable ``cache_key()`` (notably
 :class:`~repro.experiments.plan.RunSpec`) participate; jobs without one, or
@@ -19,7 +27,6 @@ batch composition (vectorized jobs) are not cached at all.
 from __future__ import annotations
 
 import os
-import pickle
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -28,15 +35,15 @@ from repro.sim.results import SimulationResult
 
 
 class ResultCacheBackend(ExecutionBackend):
-    """Caches results of an inner backend under ``cache_dir``.
+    """Caches results of an inner backend in a results store at ``cache_dir``.
 
-    Each result is pickled to ``<cache_dir>/<cache_key>.pkl``.  Writes are
-    atomic (write to a temporary file, then rename) so a crashed or
-    interrupted sweep never leaves a truncated entry behind.  A corrupt or
-    unreadable entry counts as a miss, is re-run, and is overwritten with a
-    fresh result.  The ``hits``/``misses`` counters accumulate across
-    :meth:`run` calls and are included in :meth:`describe`, so run reports
-    show how much of a sweep was served from cache.
+    The store is opened lazily (so merely constructing the backend never
+    touches disk) and writes are atomic/idempotent (see
+    :class:`~repro.store.ResultsStore`), so a crashed or interrupted sweep
+    never leaves a truncated entry behind.  The ``hits``/``misses``
+    counters accumulate across :meth:`run` calls and are included in
+    :meth:`describe`, so run reports show how much of a sweep was served
+    from cache.
     """
 
     name = "cached"
@@ -48,16 +55,58 @@ class ResultCacheBackend(ExecutionBackend):
         self.inner = inner or SerialBackend()
         self.hits = 0
         self.misses = 0
+        self._store = None
+
+    @property
+    def store(self):
+        """The backing :class:`~repro.store.ResultsStore` (opened on demand)."""
+        if self._store is None:
+            from repro.store import ResultsStore
+
+            self._store = ResultsStore(self.cache_dir)
+            self._migrate_legacy_entries(self._store)
+        return self._store
+
+    def _migrate_legacy_entries(self, store) -> None:
+        """Adopt loose ``<spec_hash>.pkl`` entries from the pre-store cache.
+
+        Earlier releases pickled each scalar result directly under
+        ``cache_dir``.  Those files are still valid results, so they are
+        moved into the store (keeping sweeps over them warm) instead of
+        becoming dead disk that ``cache prune`` could never reclaim.
+        Unreadable legacy files are deleted — under the old scheme they
+        were misses destined to be overwritten anyway — but a *readable*
+        entry is only unlinked once its store write succeeded, so a
+        transient store failure (locked database, full disk) leaves it
+        in place for the next attempt.
+        """
+        import pickle
+        import re
+
+        for path in self.cache_dir.glob("*.pkl"):
+            if not re.fullmatch(r"[0-9a-f]{64}", path.stem):
+                continue
+            try:
+                with path.open("rb") as handle:
+                    result = pickle.load(handle)
+            except Exception:
+                path.unlink(missing_ok=True)
+                continue
+            try:
+                store.put_run(path.stem, result.seed, "scalar", result)
+            except Exception:
+                continue
+            path.unlink(missing_ok=True)
 
     def run(self, jobs: Sequence[RunJob]) -> list[SimulationResult]:
         jobs = list(jobs)
         results: list[SimulationResult | None] = [None] * len(jobs)
-        keys: list[str | None] = []
+        keys: list[tuple[str, int, str] | None] = []
         missing: list[int] = []
         for index, job in enumerate(jobs):
             key = self._key_of(job)
             keys.append(key)
-            cached = self._load(key) if key is not None else None
+            cached = self.store.get_result(*key) if key is not None else None
             if cached is not None:
                 self.hits += 1
                 results[index] = cached
@@ -68,12 +117,24 @@ class ResultCacheBackend(ExecutionBackend):
             fresh = self.inner.run([jobs[index] for index in missing])
             for index, result in zip(missing, fresh):
                 results[index] = result
-                if keys[index] is not None:
-                    self._store(keys[index], result)
+                key = keys[index]
+                if key is not None:
+                    # put_run is idempotent: a pre-existing row (e.g. one
+                    # whose artifact bytes were corrupted on disk — the
+                    # miss we just recovered from) keeps its provenance
+                    # while the artifact write heals the damaged file.
+                    self.store.put_run(*key, result)
         return results  # type: ignore[return-value]
 
     def result_layout(self, job: RunJob) -> str | None:
         return self.inner.result_layout(job)
+
+    def close(self) -> None:
+        """Close the backing store's connection (and the inner backend)."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        self.inner.close()
 
     def describe(self) -> dict[str, Any]:
         return {
@@ -86,45 +147,22 @@ class ResultCacheBackend(ExecutionBackend):
 
     # -- Internals -------------------------------------------------------------
 
-    def _key_of(self, job: RunJob) -> str | None:
+    def _key_of(self, job: RunJob) -> tuple[str, int, str] | None:
         key_method = getattr(job, "cache_key", None)
         if not callable(key_method):
             return None
-        # The cache key identifies (spec, result layout): results from the
-        # reference "scalar" layout keep the bare spec hash (so serial and
-        # process-pool runs share entries, as they are bit-identical),
-        # other layouts are namespaced, and a job with no stable result
-        # identity under the inner backend (layout None — e.g. a
-        # vectorized job, whose coins depend on its batch) is never cached
-        # or served from cache.
+        # The store row identifies (spec, seed, result layout): results from
+        # the reference "scalar" layout are shared between serial and
+        # process-pool runs (they are bit-identical), other layouts are
+        # namespaced by the layout string, and a job with no stable result
+        # identity under the inner backend (layout None — e.g. a vectorized
+        # job, whose coins depend on its batch) is never cached or served
+        # from cache.
         layout = self.inner.result_layout(job)
         if layout is None:
             return None
         key = key_method()
         if key is None:
             return None
-        return key if layout == "scalar" else f"{layout}-{key}"
-
-    def _path(self, key: str) -> Path:
-        return self.cache_dir / f"{key}.pkl"
-
-    def _load(self, key: str) -> SimulationResult | None:
-        path = self._path(key)
-        try:
-            with path.open("rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
-            return None
-        except Exception:
-            # A stale, corrupt, or unreadable entry is a miss, not an error:
-            # unpickling arbitrary bytes (or results written by an older
-            # code version whose classes moved) can raise nearly anything.
-            return None
-
-    def _store(self, key: str, result: SimulationResult) -> None:
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        temporary = path.with_suffix(f".tmp.{os.getpid()}")
-        with temporary.open("wb") as handle:
-            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        temporary.replace(path)
+        seed = getattr(job, "seed", 0)
+        return key, int(seed), layout

@@ -24,18 +24,57 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any
+
+
+def _quarantine(path: Path, reason: str) -> None:
+    """Move a damaged bench file aside instead of silently dropping it.
+
+    History files accumulate across many runs; a quietly reset file loses
+    all of it.  The damaged bytes are preserved at ``<path>.corrupt`` (last
+    corruption wins) so the operator can recover or inspect them, and a
+    warning names both paths.
+    """
+    backup = path.with_name(path.name + ".corrupt")
+    try:
+        path.replace(backup)
+    except OSError:
+        # The file may be unreadable *and* unmovable (permissions); the
+        # warning below still fires so the loss is at least visible.
+        backup = None  # type: ignore[assignment]
+    warnings.warn(
+        f"bench history {path} is unreadable ({reason}); "
+        + (
+            f"backed it up to {backup} and starting a fresh history"
+            if backup is not None
+            else "could not back it up; starting a fresh history"
+        ),
+        stacklevel=3,
+    )
 
 
 def _load(path: Path) -> dict[str, Any]:
     if not path.exists():
         return {}
     try:
-        data = json.loads(path.read_text(encoding="utf-8"))
-    except (json.JSONDecodeError, OSError):
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        _quarantine(path, str(exc))
         return {}
-    return data if isinstance(data, dict) else {}
+    if not text.strip():
+        # An empty file is a freshly touched history, not corruption.
+        return {}
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        _quarantine(path, f"invalid JSON: {exc}")
+        return {}
+    if not isinstance(data, dict):
+        _quarantine(path, f"expected a JSON object, got {type(data).__name__}")
+        return {}
+    return data
 
 
 def _migrate(entry: Any) -> dict[str, Any]:

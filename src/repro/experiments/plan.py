@@ -175,6 +175,25 @@ class SweepGroup:
     seeds: tuple[int, ...]
 
 
+def batch_signature(specs: Sequence["RunSpec"]) -> str | None:
+    """Stable identity of one lockstep vector batch, or ``None``.
+
+    A vectorized result is a deterministic function of the *whole ordered
+    batch* it ran in (the coin-block geometry depends on the replication
+    count and order), not of its own spec alone.  Hashing the ordered spec
+    content hashes therefore gives vector results a stable storage
+    identity: the results store files them under layout
+    ``vector:<signature>``, so a batch re-run with the same composition is
+    served bit-identically while a differently composed batch never
+    collides.  ``None`` when any spec lacks a cache key.
+    """
+    keys = [spec.cache_key() for spec in specs]
+    if not keys or any(key is None for key in keys):
+        return None
+    payload = json.dumps(keys, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 class SweepPlan:
     """An ordered collection of run specs with row-grouping metadata."""
 

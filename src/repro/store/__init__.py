@@ -1,0 +1,29 @@
+"""Durable, queryable storage of simulation results.
+
+The :class:`~repro.store.store.ResultsStore` is the persistence layer that
+everything above the execution backends writes through: a SQLite run
+registry (one row per executed :class:`~repro.experiments.plan.RunSpec`,
+keyed by ``(spec_hash, seed, backend_layout)`` with scenario content hash,
+code version, timing and headline-metric columns) plus content-addressed
+:class:`~repro.sim.results.SimulationResult` artifacts on disk.
+
+The store is what makes campaigns (:mod:`repro.campaigns`) resumable and
+cross-run comparisons (``campaign diff``) possible, and it is the backing
+persistence of :class:`~repro.exec.cache.ResultCacheBackend`.
+"""
+
+from repro.store.store import (
+    METRIC_COLUMNS,
+    ResultsStore,
+    StoredRun,
+    StoreError,
+    describe_version,
+)
+
+__all__ = [
+    "METRIC_COLUMNS",
+    "ResultsStore",
+    "StoreError",
+    "StoredRun",
+    "describe_version",
+]

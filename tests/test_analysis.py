@@ -15,6 +15,9 @@ from repro.analysis.statistics import (
     bootstrap_mean_interval,
     describe,
     mean_confidence_interval,
+    regularized_incomplete_beta,
+    student_t_sf,
+    welch_t_test,
 )
 from repro.analysis.tables import format_table, render_rows
 
@@ -154,3 +157,58 @@ class TestTables:
     def test_render_rows_empty_rejected(self):
         with pytest.raises(ValueError):
             render_rows([])
+
+
+class TestStudentT:
+    def test_incomplete_beta_symmetry_point(self):
+        assert regularized_incomplete_beta(0.5, 0.5, 0.5) == pytest.approx(0.5)
+
+    def test_incomplete_beta_bounds(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(0.0, 1.0, 0.5)
+
+    @pytest.mark.parametrize(
+        "t, df, two_sided",
+        [
+            (12.706, 1, 0.05),
+            (4.303, 2, 0.05),
+            (2.776, 4, 0.05),
+            (2.228, 10, 0.05),
+            (1.96, 1e7, 0.05),
+        ],
+    )
+    def test_matches_critical_value_tables(self, t, df, two_sided):
+        assert 2 * student_t_sf(t, df) == pytest.approx(two_sided, rel=1e-3)
+
+    def test_symmetry_and_center(self):
+        assert student_t_sf(0.0, 5) == 0.5
+        assert student_t_sf(-2.0, 5) == pytest.approx(1.0 - student_t_sf(2.0, 5))
+
+    def test_df_must_be_positive(self):
+        with pytest.raises(ValueError):
+            student_t_sf(1.0, 0)
+
+
+class TestWelchTTest:
+    def test_identical_samples_high_p(self):
+        t, df, p = welch_t_test([1.0, 1.1, 0.9], [0.9, 1.0, 1.1])
+        assert p > 0.5
+
+    def test_small_sample_significance_is_honest(self):
+        # Two replicates per side with t~3.3: the normal approximation
+        # would call this p~0.001; with df~2 the honest answer is ~0.09.
+        t, df, p = welch_t_test([1.0, 1.4], [2.0, 2.5])
+        assert abs(t) == pytest.approx(3.28, rel=0.01)
+        assert p > 0.05
+
+    def test_clear_separation_rejected_even_at_small_n(self):
+        t, df, p = welch_t_test([1.0, 1.001, 0.999, 1.0], [1.1, 1.101, 1.099, 1.1])
+        assert p < 1e-6
+
+    def test_degenerate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            welch_t_test([1.0, 1.0], [2.0, 2.0])

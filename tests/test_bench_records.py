@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.experiments.bench import record_bench
 
 
@@ -58,9 +60,33 @@ class TestRecordBench:
         assert data["VEC"]["latest"]["backend"] == {"backend": "vector"}
         assert data["VEC"]["latest"]["speedup"] == 6.5
 
-    def test_unreadable_file_is_replaced(self, tmp_path):
+    def test_corrupt_file_is_backed_up_with_a_warning(self, tmp_path):
         path = tmp_path / "BENCH_test.json"
         path.write_text("{not json", encoding="utf-8")
-        record_bench(path, "E1", seconds=1.0, scale="smoke")
+        with pytest.warns(UserWarning, match="backed it up"):
+            record_bench(path, "E1", seconds=1.0, scale="smoke")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["E1"]["latest"]["seconds"] == 1.0
+        backup = tmp_path / "BENCH_test.json.corrupt"
+        assert backup.read_text(encoding="utf-8") == "{not json"
+
+    def test_non_object_json_is_backed_up(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.warns(UserWarning, match="expected a JSON object"):
+            record_bench(path, "E1", seconds=1.0, scale="smoke")
+        assert (tmp_path / "BENCH_test.json.corrupt").exists()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["E1"]["latest"]["seconds"] == 1.0
+
+    def test_empty_file_is_a_fresh_history_not_corruption(self, tmp_path):
+        import warnings
+
+        path = tmp_path / "BENCH_test.json"
+        path.write_text("", encoding="utf-8")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            record_bench(path, "E1", seconds=1.0, scale="smoke")
+        assert not (tmp_path / "BENCH_test.json.corrupt").exists()
         data = json.loads(path.read_text(encoding="utf-8"))
         assert data["E1"]["latest"]["seconds"] == 1.0

@@ -1,0 +1,388 @@
+"""Tests for the resumable campaign subsystem (`repro.campaigns`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaigns import (
+    CampaignError,
+    CampaignInterrupted,
+    campaign_report,
+    campaign_status_rows,
+    diff_campaign_vs_bench,
+    diff_campaigns,
+    resume_campaign,
+    start_campaign,
+)
+from repro.campaigns.runner import _partition_units
+from repro.experiments.bench import record_bench
+from repro.scenarios.runner import build_plan
+from repro.scenarios.spec import scenario_from_dict
+from repro.store import ResultsStore
+
+#: A fast mixed scenario: binary-exponential vectorizes, low-sensing falls
+#: back to scalar, so vector campaigns exercise both unit kinds.
+MIXED = {
+    "id": "campaign-mixed",
+    "title": "Campaign test scenario",
+    "protocols": ["binary-exponential", "low-sensing"],
+    "max_slots": 1500,
+    "replications": 3,
+    "arrivals": {"kind": "batch", "n": 12},
+}
+
+VECTOR_ONLY = {
+    "id": "campaign-vec",
+    "title": "Vector-only campaign scenario",
+    "protocols": ["binary-exponential", "polynomial"],
+    "max_slots": 1500,
+    "replications": 3,
+    "arrivals": {"kind": "batch", "n": 12},
+}
+
+
+def _scenario(definition=MIXED):
+    return scenario_from_dict(definition)
+
+
+def _unit_count(definition, backend_name, checkpoint_every=2):
+    scenario = _scenario(definition)
+    plan = build_plan(scenario, "smoke")
+    units, _ = _partition_units(plan, backend_name, checkpoint_every)
+    return len(units)
+
+
+class TestRunAndResume:
+    def test_complete_campaign_records_everything(self, tmp_path):
+        with ResultsStore(tmp_path / "store") as store:
+            outcome = start_campaign(
+                store, _scenario(), scale="smoke", backend_name="serial"
+            )
+            assert outcome.status == "complete"
+            assert outcome.total_runs == 4  # 2 protocols x 2 smoke seeds
+            assert outcome.executed_runs == 4 and outcome.skipped_runs == 0
+            rows = campaign_status_rows(store)
+            assert len(rows) == 1
+            assert rows[0]["status"] == "complete"
+            assert rows[0]["runs_done"] == rows[0]["total_runs"] == 4
+            assert store.stats()["runs_by_source"] == {"campaign": 4}
+
+    def test_rerun_same_id_rejected_but_resume_is_noop(self, tmp_path):
+        with ResultsStore(tmp_path / "store") as store:
+            outcome = start_campaign(
+                store, _scenario(), scale="smoke", backend_name="serial"
+            )
+            with pytest.raises(CampaignError, match="already exists"):
+                start_campaign(
+                    store, _scenario(), scale="smoke", backend_name="serial"
+                )
+            again = resume_campaign(store, outcome.campaign_id)
+            assert again.status == "complete"
+            assert again.executed_runs == 0
+            assert again.skipped_runs == outcome.total_runs
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with ResultsStore(tmp_path / "store") as store:
+            with pytest.raises(CampaignError, match="unknown campaign backend"):
+                start_campaign(store, _scenario(), backend_name="threads")
+
+    def test_invalid_workers_rejected_before_campaign_creation(self, tmp_path):
+        with ResultsStore(tmp_path / "store") as store:
+            with pytest.raises(CampaignError, match="workers must be positive"):
+                start_campaign(
+                    store,
+                    _scenario(),
+                    scale="smoke",
+                    backend_name="processes",
+                    workers=-2,
+                )
+            # No stranded 'running' campaign row was left behind.
+            assert store.list_campaigns() == []
+
+    def test_resume_unknown_campaign_rejected(self, tmp_path):
+        with ResultsStore(tmp_path / "store") as store:
+            with pytest.raises(CampaignError, match="unknown campaign"):
+                resume_campaign(store, "nope")
+
+    def test_resume_refuses_drifted_definition(self, tmp_path):
+        with ResultsStore(tmp_path / "store") as store:
+            with pytest.raises(CampaignInterrupted):
+                start_campaign(
+                    store,
+                    _scenario(),
+                    scale="smoke",
+                    backend_name="serial",
+                    campaign_id="drift",
+                    checkpoint_every=2,
+                    fail_after_units=1,
+                )
+            tampered = dict(MIXED, max_slots=999)
+            with store._connection:
+                store._connection.execute(
+                    "UPDATE campaigns SET definition = ? WHERE campaign_id = 'drift'",
+                    (json.dumps(tampered, sort_keys=True),),
+                )
+            with pytest.raises(CampaignError, match="content hash"):
+                resume_campaign(store, "drift")
+
+    @pytest.mark.parametrize("backend_name", ["serial", "vector"])
+    def test_interrupt_anywhere_then_resume_is_bit_identical(
+        self, tmp_path, backend_name
+    ):
+        """The acceptance criterion: kill after *every* possible unit
+        commit, resume, and the store must fingerprint identically to an
+        uninterrupted run on both the serial and vector backends."""
+        units = _unit_count(MIXED, backend_name, checkpoint_every=1)
+        assert units >= 3
+        with ResultsStore(tmp_path / "reference") as reference:
+            start_campaign(
+                reference,
+                _scenario(),
+                scale="smoke",
+                backend_name=backend_name,
+                campaign_id="c",
+                checkpoint_every=1,
+            )
+            expected = reference.fingerprint()
+            expected_artifacts = sorted(
+                path.name for path in reference.artifacts_dir.rglob("*.pkl")
+            )
+        for fail_after in range(1, units):
+            root = tmp_path / f"interrupted-{backend_name}-{fail_after}"
+            with ResultsStore(root) as store:
+                with pytest.raises(CampaignInterrupted):
+                    start_campaign(
+                        store,
+                        _scenario(),
+                        scale="smoke",
+                        backend_name=backend_name,
+                        campaign_id="c",
+                        checkpoint_every=1,
+                        fail_after_units=fail_after,
+                    )
+                assert store.get_campaign("c")["status"] == "running"
+                outcome = resume_campaign(store, "c", checkpoint_every=1)
+                assert outcome.status == "complete"
+                assert outcome.skipped_runs > 0
+                assert store.fingerprint() == expected, (
+                    f"{backend_name} store diverged when killed after "
+                    f"unit {fail_after}"
+                )
+                artifacts = sorted(
+                    path.name for path in store.artifacts_dir.rglob("*.pkl")
+                )
+                assert artifacts == expected_artifacts
+
+    def test_vector_campaign_stores_batch_layouts(self, tmp_path):
+        with ResultsStore(tmp_path / "store") as store:
+            start_campaign(
+                store,
+                _scenario(VECTOR_ONLY),
+                scale="smoke",
+                backend_name="vector",
+                campaign_id="v",
+            )
+            layouts = set(store.stats()["runs_by_layout"])
+            assert all(layout.startswith("vector:") for layout in layouts)
+            assert len(layouts) == 2  # one batch signature per protocol group
+
+    def test_processes_campaign_fingerprints_like_serial(self, tmp_path):
+        """Pool-returned results pickle through an extra round trip, which
+        reshuffles pickle's identity memo; artifact hashing must be a
+        function of result content, not of which backend produced it."""
+        with ResultsStore(tmp_path / "a") as a, ResultsStore(tmp_path / "b") as b:
+            start_campaign(
+                a,
+                _scenario(),
+                scale="smoke",
+                backend_name="processes",
+                workers=2,
+                campaign_id="c",
+            )
+            start_campaign(
+                b, _scenario(), scale="smoke", backend_name="serial", campaign_id="c"
+            )
+            assert a.fingerprint() == b.fingerprint()
+
+    def test_scalar_and_vector_results_never_collide(self, tmp_path):
+        with ResultsStore(tmp_path / "store") as store:
+            start_campaign(
+                store,
+                _scenario(VECTOR_ONLY),
+                scale="smoke",
+                backend_name="serial",
+                campaign_id="s",
+            )
+            start_campaign(
+                store,
+                _scenario(VECTOR_ONLY),
+                scale="smoke",
+                backend_name="vector",
+                campaign_id="v",
+            )
+            by_layout = store.stats()["runs_by_layout"]
+            assert by_layout["scalar"] == 4
+            assert sum(v for k, v in by_layout.items() if k.startswith("vector:")) == 4
+
+
+class TestReportAndStatus:
+    def test_campaign_report_aggregates_from_registry(self, tmp_path):
+        with ResultsStore(tmp_path / "store") as store:
+            outcome = start_campaign(
+                store, _scenario(), scale="smoke", backend_name="serial"
+            )
+            report = campaign_report(store, outcome.campaign_id)
+            assert len(report.rows) == 2
+            protocols = {row["protocol"] for row in report.rows}
+            assert protocols == {"binary-exponential", "low-sensing"}
+            for row in report.rows:
+                assert row["replicates"] == 2
+                assert row["scenario"] == "campaign-mixed"
+                assert 0.0 <= row["throughput"] <= 1.0
+                assert row["drained"] in (True, False)
+            assert report.verdicts
+
+    def test_report_unknown_campaign_rejected(self, tmp_path):
+        with ResultsStore(tmp_path / "store") as store:
+            with pytest.raises(CampaignError, match="unknown campaign"):
+                campaign_report(store, "nope")
+
+    def test_report_warns_when_registry_rows_are_missing(self, tmp_path):
+        with ResultsStore(tmp_path / "store") as store:
+            outcome = start_campaign(
+                store, _scenario(), scale="smoke", backend_name="serial"
+            )
+            with store._connection:
+                store._connection.execute(
+                    "DELETE FROM runs WHERE rowid = "
+                    "(SELECT rowid FROM runs ORDER BY rowid LIMIT 1)"
+                )
+            report = campaign_report(store, outcome.campaign_id)
+            assert any("no registry row" in note for note in report.notes)
+
+
+class TestDiff:
+    def _campaign(self, store, definition, campaign_id, seeds=None):
+        return start_campaign(
+            store,
+            _scenario(definition),
+            scale="smoke",
+            seeds=seeds,
+            backend_name="serial",
+            campaign_id=campaign_id,
+        )
+
+    def test_equivalent_campaigns_pass(self, tmp_path):
+        definition = dict(VECTOR_ONLY, replications=4, max_slots=4000)
+        with ResultsStore(tmp_path / "store") as store:
+            self._campaign(store, definition, "a", seeds=[1, 2, 3, 4])
+            self._campaign(store, definition, "b", seeds=[11, 12, 13, 14])
+            diff = diff_campaigns(store, "a", right_id="b")
+            assert diff.passed, diff.render()
+            assert set(diff.reports) == {"binary-exponential", "polynomial"}
+
+    def test_injected_regression_flagged(self, tmp_path):
+        base = dict(VECTOR_ONLY, replications=4, max_slots=4000)
+        regressed = dict(base, jamming={"kind": "bernoulli", "probability": 0.5})
+        with ResultsStore(tmp_path / "store") as store:
+            self._campaign(store, base, "base")
+            self._campaign(store, regressed, "regressed")
+            diff = diff_campaigns(store, "base", right_id="regressed")
+            assert not diff.passed
+            failures = [
+                comparison.metric
+                for report in diff.reports.values()
+                for comparison in report.failures()
+            ]
+            assert failures, diff.render()
+            assert any(note.startswith("scenario definitions differ") for note in diff.notes)
+
+    def test_missing_protocol_is_a_regression(self, tmp_path):
+        narrow = dict(VECTOR_ONLY, protocols=["binary-exponential"])
+        with ResultsStore(tmp_path / "store") as store:
+            self._campaign(store, VECTOR_ONLY, "wide")
+            self._campaign(store, narrow, "narrow")
+            diff = diff_campaigns(store, "wide", right_id="narrow")
+            assert not diff.passed
+            assert any("only in 'wide'" in item or "only in wide" in item for item in diff.missing)
+
+    def test_diff_across_two_stores(self, tmp_path):
+        with ResultsStore(tmp_path / "a") as left, ResultsStore(tmp_path / "b") as right:
+            self._campaign(left, VECTOR_ONLY, "c")
+            self._campaign(right, VECTOR_ONLY, "c")
+            diff = diff_campaigns(left, "c", right, "c")
+            assert diff.passed
+
+    def test_bench_diff_pass_and_regression(self, tmp_path):
+        bench_path = tmp_path / "BENCH_campaigns.json"
+        with ResultsStore(tmp_path / "store") as store:
+            outcome = self._campaign(store, VECTOR_ONLY, "timed")
+            record_bench(
+                bench_path,
+                "campaign:campaign-vec",
+                seconds=max(outcome.elapsed_seconds, 0.01) * 2,
+                scale="smoke",
+            )
+            verdict = diff_campaign_vs_bench(store, "timed", bench_path)
+            assert verdict["passed"], verdict
+            record_bench(
+                bench_path,
+                "campaign:campaign-vec",
+                seconds=outcome.elapsed_seconds / 100 + 1e-6,
+                scale="smoke",
+            )
+            verdict = diff_campaign_vs_bench(store, "timed", bench_path, factor=1.0)
+            assert not verdict["passed"]
+
+    def test_incomplete_campaign_flagged_by_diff_and_bench_gate(self, tmp_path):
+        bench_path = tmp_path / "BENCH.json"
+        record_bench(bench_path, "campaign:campaign-vec", seconds=100.0, scale="smoke")
+        with ResultsStore(tmp_path / "store") as store:
+            self._campaign(store, VECTOR_ONLY, "done")
+            with pytest.raises(CampaignInterrupted):
+                start_campaign(
+                    store,
+                    _scenario(VECTOR_ONLY),
+                    scale="smoke",
+                    seeds=[51, 52],
+                    backend_name="serial",
+                    campaign_id="partial",
+                    checkpoint_every=1,
+                    fail_after_units=1,
+                )
+            diff = diff_campaigns(store, "done", right_id="partial")
+            assert not diff.passed
+            assert any("incomplete" in item for item in diff.missing)
+            with pytest.raises(CampaignError, match="resume it first"):
+                diff_campaign_vs_bench(store, "partial", bench_path)
+
+    def test_bench_diff_unknown_entry_rejected(self, tmp_path):
+        bench_path = tmp_path / "BENCH.json"
+        bench_path.write_text("{}", encoding="utf-8")
+        with ResultsStore(tmp_path / "store") as store:
+            self._campaign(store, VECTOR_ONLY, "c")
+            with pytest.raises(CampaignError, match="no usable entry"):
+                diff_campaign_vs_bench(store, "c", bench_path)
+
+
+class TestCacheStoreInterop:
+    def test_cache_hits_reuse_campaign_scalar_runs(self, tmp_path):
+        """The cache and campaigns share one persistence layer: a scalar
+        run recorded by a campaign is a cache hit for the same spec."""
+        from repro.exec.cache import ResultCacheBackend
+
+        with ResultsStore(tmp_path / "store") as store:
+            start_campaign(
+                store,
+                _scenario(VECTOR_ONLY),
+                scale="smoke",
+                backend_name="serial",
+                campaign_id="c",
+            )
+        cache = ResultCacheBackend(tmp_path / "store")
+        plan = build_plan(_scenario(VECTOR_ONLY), "smoke")
+        cache.run(plan.specs)
+        assert cache.hits == len(plan.specs)
+        assert cache.misses == 0

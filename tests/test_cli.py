@@ -67,7 +67,10 @@ class TestRun:
         assert main(args) == 0
         first = json.loads((out_dir / "e1.json").read_text(encoding="utf-8"))
         assert first["backend"]["inner"]["workers"] == 2
-        assert list(cache_dir.glob("*.pkl")), "cache should be populated"
+        assert (cache_dir / "store.db").exists(), "cache store should exist"
+        assert list((cache_dir / "artifacts").rglob("*.pkl")), (
+            "cache should be populated"
+        )
         # Second invocation hits the cache and must reproduce the same rows.
         assert main(args) == 0
         second = json.loads((out_dir / "e1.json").read_text(encoding="utf-8"))
@@ -242,6 +245,116 @@ class TestScenario:
         with pytest.raises(SystemExit):
             main(["run", "e1", "--scale", "smoke", "--out", "/proc/nope/results"])
         assert "cannot create --out" in capsys.readouterr().err
+
+
+class TestCampaignCli:
+    def test_run_status_show_roundtrip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = [
+            "campaign", "run", "onoff-jamming",
+            "--scale", "smoke",
+            "--store", store,
+            "--id", "c1",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "[c1] complete" in out
+
+        assert main(["campaign", "status", "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaigns"][0]["campaign_id"] == "c1"
+        assert payload["campaigns"][0]["status"] == "complete"
+        assert len(payload["store_fingerprint"]) == 64
+
+        assert main(["campaign", "show", "c1", "--store", store, "--json"]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["campaign"]["campaign_id"] == "c1"
+        assert shown["rows"]
+        assert shown["store_fingerprint"] == payload["store_fingerprint"]
+
+    def test_interrupt_env_then_resume_cli(self, tmp_path, capsys, monkeypatch):
+        store = str(tmp_path / "store")
+        monkeypatch.setenv("REPRO_CAMPAIGN_FAIL_AFTER_UNITS", "1")
+        code = main(
+            [
+                "campaign", "run", "onoff-jamming",
+                "--scale", "smoke",
+                "--store", store,
+                "--id", "c1",
+                "--checkpoint-every", "1",
+            ]
+        )
+        assert code == 1
+        assert "interrupted after 1 unit" in capsys.readouterr().out
+        monkeypatch.delenv("REPRO_CAMPAIGN_FAIL_AFTER_UNITS")
+        assert main(["campaign", "resume", "c1", "--store", store]) == 0
+        assert "[c1] complete" in capsys.readouterr().out
+
+    def test_diff_exit_codes(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        base = ["campaign", "run", "budget-starved-jammer", "--scale", "smoke",
+                "--store", store]
+        assert main(base + ["--id", "a"]) == 0
+        assert main(base + ["--id", "b", "--seeds", "101,102"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "diff", "a", "b", "--store", store]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestCacheCli:
+    def test_stats_migrates_legacy_pickle_directories(self, tmp_path, capsys):
+        """A pre-store cache directory of loose <hash>.pkl files is exactly
+        what `cache stats|prune` must be able to manage."""
+        import pickle
+
+        from repro.adversary.arrivals import BatchArrivals
+        from repro.adversary.composite import CompositeAdversary
+        from repro.exec.backends import SerialBackend
+        from repro.experiments.plan import RunSpec, factory
+        from repro.protocols.binary_exponential import BinaryExponentialBackoff
+
+        spec = RunSpec(
+            protocol=BinaryExponentialBackoff(),
+            adversary=factory(CompositeAdversary, factory(BatchArrivals, 8)),
+            seed=3,
+            max_slots=500,
+        )
+        legacy_dir = tmp_path / "legacy"
+        legacy_dir.mkdir()
+        result = SerialBackend().run([spec])[0]
+        (legacy_dir / f"{spec.cache_key()}.pkl").write_bytes(pickle.dumps(result))
+        assert main(["cache", "stats", "--cache-dir", str(legacy_dir), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["runs"] == 1, "legacy entry was not migrated"
+        assert not list(legacy_dir.glob("*.pkl")), "legacy file left behind"
+
+    def test_stats_and_prune(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            main(
+                [
+                    "run", "e1",
+                    "--scale", "smoke",
+                    "--seeds", "11",
+                    "--cache-dir", cache_dir,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["runs"] > 0
+        assert stats["artifact_bytes"] > 0
+
+        args = ["cache", "prune", "--cache-dir", cache_dir, "--max-bytes", "0"]
+        assert main(args + ["--dry-run"]) == 0
+        assert "would remove" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["runs"] == 0 and stats["artifacts"] == 0
 
 
 class TestEquivalence:

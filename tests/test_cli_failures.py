@@ -1,0 +1,259 @@
+"""CLI failure paths must exit non-zero with a one-line diagnostic.
+
+Every case here used to be (or could become) a traceback or a silent
+success; the contract is: bad input → non-zero exit, a single
+human-readable error line on stderr, and **no traceback** — scripts and CI
+wrappers branch on the exit code and surface stderr to humans.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _expect_error(capsys, argv, *needles):
+    """Run ``argv``, assert non-zero SystemExit and a clean diagnostic."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    code = excinfo.value.code
+    assert code not in (0, None), f"{argv} exited {code}"
+    err = capsys.readouterr().err
+    assert "Traceback" not in err, f"{argv} leaked a traceback:\n{err}"
+    for needle in needles:
+        assert needle in err, f"{argv}: expected {needle!r} in stderr:\n{err}"
+    return err
+
+
+class TestUnknownIds:
+    def test_unknown_experiment_id(self, capsys):
+        _expect_error(capsys, ["run", "e42"], "unknown experiment id", "e42")
+
+    def test_unknown_scenario_id_on_run(self, capsys):
+        _expect_error(
+            capsys, ["scenario", "run", "no-such"], "unknown scenario", "no-such"
+        )
+
+    def test_unknown_scenario_id_on_show(self, capsys):
+        _expect_error(capsys, ["scenario", "show", "no-such"], "unknown scenario")
+
+    def test_unknown_backend(self, capsys):
+        _expect_error(
+            capsys,
+            ["run", "e1", "--backend", "threads"],
+            "--backend",
+        )
+
+
+class TestMalformedScenarioFiles:
+    def test_malformed_toml(self, tmp_path, capsys):
+        path = tmp_path / "broken.toml"
+        path.write_text("id = [unclosed", encoding="utf-8")
+        _expect_error(
+            capsys, ["scenario", "run", str(path)], "invalid TOML", path.name
+        )
+
+    def test_malformed_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        _expect_error(
+            capsys, ["scenario", "run", str(path)], "invalid JSON", path.name
+        )
+
+    def test_valid_json_bad_schema(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"id": "x"}), encoding="utf-8")
+        _expect_error(
+            capsys, ["scenario", "run", str(path)], "missing required keys"
+        )
+
+    def test_unknown_component_kind(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "id": "bad-kind",
+                    "title": "Bad",
+                    "protocols": ["binary-exponential"],
+                    "arrivals": {"kind": "martian"},
+                }
+            ),
+            encoding="utf-8",
+        )
+        _expect_error(capsys, ["scenario", "run", str(path)], "unknown kind")
+
+    def test_missing_scenario_file(self, capsys):
+        _expect_error(
+            capsys,
+            ["scenario", "run", "/does/not/exist.toml"],
+            "cannot read scenario file",
+        )
+
+
+class TestUnwritablePaths:
+    def test_unwritable_out_dir_on_run(self, capsys):
+        _expect_error(
+            capsys,
+            ["run", "e1", "--scale", "smoke", "--out", "/proc/nope/results"],
+            "cannot create --out",
+        )
+
+    def test_unwritable_out_dir_on_scenario_run(self, capsys):
+        _expect_error(
+            capsys,
+            [
+                "scenario", "run", "onoff-jamming",
+                "--scale", "smoke",
+                "--out", "/proc/nope/results",
+            ],
+            "cannot create --out",
+        )
+
+    def test_unwritable_bench_out_on_run(self, capsys):
+        _expect_error(
+            capsys,
+            ["run", "e1", "--scale", "smoke", "--bench-out", "/proc/nope/BENCH.json"],
+            "cannot write --bench-out",
+        )
+
+    def test_unwritable_bench_out_on_scenario_run(self, capsys):
+        _expect_error(
+            capsys,
+            [
+                "scenario", "run", "onoff-jamming",
+                "--scale", "smoke",
+                "--bench-out", "/proc/nope/BENCH.json",
+            ],
+            "cannot write --bench-out",
+        )
+
+    def test_bench_out_pointing_at_directory(self, tmp_path, capsys):
+        _expect_error(
+            capsys,
+            ["run", "e1", "--scale", "smoke", "--bench-out", str(tmp_path)],
+            "cannot write --bench-out",
+        )
+
+    def test_bench_out_probe_leaves_no_file_behind(self, tmp_path, capsys):
+        """The writability probe must not leave an empty bench file when a
+        later validation step aborts the command."""
+        bench = tmp_path / "BENCH.json"
+        _expect_error(
+            capsys,
+            [
+                "run", "e1",
+                "--scale", "smoke",
+                "--bench-out", str(bench),
+                "--out", "/proc/nope/results",
+            ],
+            "cannot create --out",
+        )
+        assert not bench.exists()
+
+
+def _empty_store(tmp_path):
+    from repro.store import ResultsStore
+
+    root = tmp_path / "s"
+    ResultsStore(root).close()
+    return str(root)
+
+
+class TestCampaignAndCacheFailures:
+    def test_resume_unknown_campaign(self, tmp_path, capsys):
+        _expect_error(
+            capsys,
+            ["campaign", "resume", "ghost", "--store", _empty_store(tmp_path)],
+            "unknown campaign",
+        )
+
+    def test_show_unknown_campaign(self, tmp_path, capsys):
+        _expect_error(
+            capsys,
+            ["campaign", "show", "ghost", "--store", _empty_store(tmp_path)],
+            "unknown campaign",
+        )
+
+    def test_diff_needs_second_campaign_or_bench(self, tmp_path, capsys):
+        _expect_error(
+            capsys,
+            ["campaign", "diff", "a", "--store", _empty_store(tmp_path)],
+            "diff needs CAMPAIGN_B",
+        )
+
+    def test_campaign_run_unknown_scenario(self, tmp_path, capsys):
+        _expect_error(
+            capsys,
+            ["campaign", "run", "no-such", "--store", str(tmp_path / "s")],
+            "unknown scenario",
+        )
+
+    def test_read_side_commands_require_an_existing_store(self, tmp_path, capsys):
+        """A mistyped --store/--cache-dir must error loudly, not create an
+        empty store and report zero of everything."""
+        missing = tmp_path / "typo-dir"
+        for argv in (
+            ["campaign", "status", "--store", str(missing)],
+            ["campaign", "resume", "x", "--store", str(missing)],
+            ["campaign", "show", "x", "--store", str(missing)],
+        ):
+            _expect_error(capsys, argv, "no results store")
+            assert not missing.exists(), f"{argv} created the store"
+        for argv in (
+            ["cache", "stats", "--cache-dir", str(missing)],
+            ["cache", "prune", "--cache-dir", str(missing), "--max-bytes", "0"],
+        ):
+            _expect_error(capsys, argv, "no cache directory")
+            assert not missing.exists(), f"{argv} created the cache"
+
+    def test_campaign_run_typo_scenario_leaves_no_store_behind(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "fresh-store"
+        _expect_error(
+            capsys,
+            ["campaign", "run", "onoff-jaming", "--store", str(store)],
+            "unknown scenario",
+        )
+        assert not store.exists(), "typo'd scenario run created an empty store"
+
+    def test_campaign_run_store_on_unwritable_path(self, capsys):
+        _expect_error(
+            capsys,
+            ["campaign", "run", "onoff-jamming", "--store", "/proc/nope/store"],
+            "cannot open results store",
+        )
+
+    def test_checkpoint_every_zero_rejected(self, tmp_path, capsys):
+        store = _empty_store(tmp_path)
+        for sub in (
+            ["campaign", "run", "onoff-jamming"],
+            ["campaign", "resume", "whatever"],
+        ):
+            _expect_error(
+                capsys,
+                sub + ["--store", store, "--checkpoint-every", "0"],
+                "--checkpoint-every must be at least 1",
+            )
+
+    def test_cache_prune_without_criteria(self, tmp_path, capsys):
+        _expect_error(
+            capsys,
+            ["cache", "prune", "--cache-dir", _empty_store(tmp_path)],
+            "--older-than-days and/or --max-bytes",
+        )
+
+    def test_bad_fail_after_units_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CAMPAIGN_FAIL_AFTER_UNITS", "zero")
+        _expect_error(
+            capsys,
+            [
+                "campaign", "run", "onoff-jamming",
+                "--scale", "smoke",
+                "--store", str(tmp_path / "s"),
+            ],
+            "REPRO_CAMPAIGN_FAIL_AFTER_UNITS",
+        )

@@ -118,14 +118,22 @@ class TestResultCacheBackend:
         # A ConfigJob's adversary is stateful, so re-running it requires a
         # freshly built job; the cache must not have stored the first result.
         assert cache.misses == 1 and cache.hits == 0
-        assert not list((tmp_path / "cache").glob("*.pkl"))
+        assert cache.store.stats()["runs"] == 0
+
+    def test_entries_live_in_the_results_store(self, tmp_path):
+        specs = _specs(seeds=(9,))
+        cache = ResultCacheBackend(tmp_path / "cache")
+        cache.run(specs)
+        stored = cache.store.get_run(specs[0].cache_key(), 9, "scalar")
+        assert stored is not None and stored.source == "cache"
+        assert stored.metrics["throughput"] > 0
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         specs = _specs(seeds=(9,))
         cache = ResultCacheBackend(tmp_path / "cache")
         first = cache.run(specs)[0]
-        key = specs[0].cache_key()
-        (tmp_path / "cache" / f"{key}.pkl").write_bytes(b"not a pickle")
+        for artifact in (tmp_path / "cache" / "artifacts").rglob("*.pkl"):
+            artifact.write_bytes(b"not a pickle")
         again = cache.run(specs)[0]
         assert again.summary() == first.summary()
 
@@ -135,8 +143,8 @@ class TestResultCacheBackend:
         specs = _specs(seeds=(9,))
         cache = ResultCacheBackend(tmp_path / "cache")
         first = cache.run(specs)[0]
-        path = tmp_path / "cache" / f"{specs[0].cache_key()}.pkl"
-        path.write_bytes(b"\x80\x04garbage")
+        for artifact in (tmp_path / "cache" / "artifacts").rglob("*.pkl"):
+            artifact.write_bytes(b"\x80\x04garbage")
         recovered = cache.run(specs)[0]
         assert (cache.hits, cache.misses) == (0, 2)
         assert recovered.summary() == first.summary()
@@ -144,6 +152,25 @@ class TestResultCacheBackend:
         third = cache.run(specs)[0]
         assert (cache.hits, cache.misses) == (1, 2)
         assert third.summary() == first.summary()
+
+    def test_legacy_flat_pickle_entries_are_migrated(self, tmp_path):
+        """Loose ``<spec_hash>.pkl`` files from the pre-store cache become
+        store rows (and cache hits) instead of dead disk."""
+        import pickle
+
+        specs = _specs(seeds=(9,))
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        result = SerialBackend().run(specs)[0]
+        legacy = cache_dir / f"{specs[0].cache_key()}.pkl"
+        legacy.write_bytes(pickle.dumps(result))
+        (cache_dir / "not-a-hash.pkl").write_bytes(b"ignored")
+        cache = ResultCacheBackend(cache_dir)
+        migrated = cache.run(specs)[0]
+        assert (cache.hits, cache.misses) == (1, 0)
+        assert migrated.summary() == result.summary()
+        assert not legacy.exists()
+        assert (cache_dir / "not-a-hash.pkl").exists()  # unknown files kept
 
     def test_describe_reports_hit_and_miss_counts(self, tmp_path):
         specs = _specs(seeds=(1, 2))
@@ -154,6 +181,17 @@ class TestResultCacheBackend:
         assert description["hits"] == 2
         assert description["misses"] == 2
         assert description["inner"] == {"backend": "serial"}
+
+    def test_close_releases_the_store_and_reopens_on_demand(self, tmp_path):
+        specs = _specs(seeds=(1,))
+        with ResultCacheBackend(tmp_path / "cache") as cache:
+            cache.run(specs)
+            assert cache._store is not None
+        assert cache._store is None  # __exit__ closed the connection
+        # The backend stays usable: the store reopens lazily.
+        cache.run(specs)
+        assert cache.hits == 1
+        cache.close()
 
 
 class TestMakeBackend:
