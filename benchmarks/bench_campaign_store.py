@@ -37,7 +37,7 @@ import time
 
 import pytest
 
-from conftest import RESULTS_DIR
+from conftest import RESULTS_DIR, mirror_path
 
 from repro.campaigns import CampaignInterrupted, resume_campaign, start_campaign
 from repro.experiments.bench import record_bench
@@ -127,6 +127,7 @@ def test_campaign_resume_overhead(benchmark, tmp_path):
         seconds=uninterrupted_seconds,
         scale="default",
         backend={"backend": "vector"},
+        mirror=mirror_path(BENCH_CAMPAIGNS_PATH),
         extra={
             "resume_overhead_ratio": round(ratio, 4),
             "wall_ratio": round(wall_ratio, 4),

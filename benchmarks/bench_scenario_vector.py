@@ -20,7 +20,7 @@ import dataclasses
 import os
 import time
 
-from conftest import RESULTS_DIR
+from conftest import RESULTS_DIR, mirror_path
 
 from repro.exec import SerialBackend, VectorBackend
 from repro.experiments.bench import record_bench
@@ -90,6 +90,7 @@ def test_scenario_vector_speedup(benchmark):
         seconds=vector_seconds,
         scale="default",
         backend=vector_backend.describe(),
+        mirror=mirror_path(BENCH_SCENARIOS_PATH),
         extra={
             "serial_seconds": round(serial_seconds, 4),
             "speedup": round(speedup, 2),

@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import time
 
-from conftest import RESULTS_DIR
+from conftest import RESULTS_DIR, mirror_path
 
 from repro.adversary.arrivals import BatchArrivals
 from repro.adversary.composite import CompositeAdversary
@@ -89,6 +89,7 @@ def test_vector_backend_speedup(benchmark):
         seconds=vector_seconds,
         scale="default",
         backend=vector_backend.describe(),
+        mirror=mirror_path(BENCH_VECTOR_PATH),
         extra={
             "serial_seconds": round(serial_seconds, 4),
             "speedup": round(speedup, 2),

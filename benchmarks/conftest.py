@@ -24,6 +24,17 @@ from repro.experiments.spec import ExperimentReport
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Repo root, where headline BENCH artifacts are mirrored so the perf
+#: trajectory is visible where tooling looks for ``BENCH_*.json`` (the
+#: canonical history stays under ``benchmarks/results/``).
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def mirror_path(path: pathlib.Path) -> pathlib.Path:
+    """The repo-root mirror of a ``benchmarks/results/BENCH_*.json`` file."""
+    return REPO_ROOT / path.name
+
+
 #: Wall-clock-per-experiment artifact.  Each benchmark run *merges* its
 #: timing into the file (per-experiment history accumulates; see
 #: :mod:`repro.experiments.bench`), so the pipeline's speedup trajectory
@@ -46,7 +57,13 @@ def save_report(report: ExperimentReport) -> str:
 
 def record_wall_clock(exp_id: str, seconds: float, scale: str) -> None:
     """Merge one experiment's wall-clock time into ``BENCH_pipeline.json``."""
-    record_bench(BENCH_PIPELINE_PATH, exp_id, seconds=seconds, scale=scale)
+    record_bench(
+        BENCH_PIPELINE_PATH,
+        exp_id,
+        seconds=seconds,
+        scale=scale,
+        mirror=mirror_path(BENCH_PIPELINE_PATH),
+    )
 
 
 def run_experiment_benchmark(benchmark, experiment, scale: str = BENCH_SCALE):

@@ -137,6 +137,12 @@ class BernoulliJamming(_BudgetedJammer):
             return False
         return self._spend()
 
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["probability"] = self.probability
+        description["only_active"] = self.only_active
+        return description
+
 
 class PeriodicJamming(_BudgetedJammer):
     """Jam every ``period``-th slot starting at ``offset``."""
@@ -157,6 +163,12 @@ class PeriodicJamming(_BudgetedJammer):
         if view.slot < self.offset or (view.slot - self.offset) % self.period != 0:
             return False
         return self._spend()
+
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["period"] = self.period
+        description["offset"] = self.offset
+        return description
 
 
 class BurstJamming(_BudgetedJammer):
@@ -200,6 +212,13 @@ class BurstJamming(_BudgetedJammer):
             return False
         return self._spend()
 
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["start"] = self.start
+        description["length"] = self.length
+        description["period"] = self.period
+        return description
+
 
 class BudgetedRandomJamming(_BudgetedJammer):
     """Spend a jamming budget uniformly at random over a horizon.
@@ -224,6 +243,11 @@ class BudgetedRandomJamming(_BudgetedJammer):
         if rng.random() >= probability:
             return False
         return self._spend()
+
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["horizon"] = self.horizon
+        return description
 
 
 class AdaptiveContentionJammer(_BudgetedJammer):

@@ -4,8 +4,10 @@ Subcommands:
 
 ``list``
     Print the experiment table and the scenario catalog.  With ``--json``
-    the listing is machine-readable (ids, titles, tags, content hashes),
-    so CI and scripts can enumerate what is runnable.
+    the listing is machine-readable (ids, titles, tags, content hashes,
+    and each entry's vectorization coverage — spec/kernel-launch counts
+    plus named fallback reasons), so CI and scripts can enumerate what is
+    runnable and what vectorizes.
 
 ``run``
     Run experiments by id on a chosen execution backend and print their
@@ -21,8 +23,12 @@ Subcommands:
     :mod:`repro.experiments.bench`).
 
     ``--backend vector`` batches every vectorizable replication group
-    through the lockstep numpy engine and runs the rest serially; the
-    backend description in the report shows the vectorized/fallback split.
+    through the lockstep numpy engine (compatible groups stacked into
+    mega-batches) and runs the rest serially; the backend description in
+    the report shows the vectorized/fallback split and the launch count.
+    ``--explain`` prints the per-group vectorization table — which groups
+    get a vector kernel, and the support-registry reason for each scalar
+    fallback — without running anything.
 
 ``scenario``
     The scenario catalog and file format (see :mod:`repro.scenarios`)::
@@ -150,6 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ID",
         help="experiment ids to run (e.g. e1 e3; case-insensitive)",
     )
+    run_parser.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "print each experiment's per-group vectorization table (vector "
+            "kernel vs scalar fallback, with the support-registry reason) "
+            "instead of running anything"
+        ),
+    )
     _add_execution_options(run_parser)
 
     scenario_parser = subparsers.add_parser(
@@ -206,6 +221,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="50,100",
         metavar="N,N",
         help="batch sizes for the default E1-core check (default: 50,100)",
+    )
+    equivalence_parser.add_argument(
+        "--protocols",
+        default="core",
+        choices=("core", "sensing", "all"),
+        help=(
+            "which protocol tier the default E1-core check sweeps: the "
+            "send-only 'core' (BEB/polynomial/fixed-probability), the "
+            "'sensing' tier (low-sensing/sawtooth/full-sensing MW), or "
+            "'all' (default: core)"
+        ),
     )
 
     campaign_parser = subparsers.add_parser(
@@ -401,35 +427,103 @@ def _backend_builder(args: argparse.Namespace, parser: argparse.ArgumentParser):
     return build_backend
 
 
-def _experiment_rows() -> list[dict[str, str]]:
-    from repro.experiments import experiments as exp_module
+def _vectorization_payload(plan) -> dict[str, object]:
+    """JSON-friendly vectorization summary of one sweep plan."""
+    summary = plan.vector_summary()
+    return {
+        "total_specs": summary["total_specs"],
+        "vectorizable_specs": summary["vectorizable_specs"],
+        "vector_groups": summary["vector_groups"],
+        "mega_batches": summary["mega_batches"],
+        "fallbacks": [
+            {
+                "group": group_id,
+                "protocol": plan.groups[group_id].protocol_name,
+                "reason": reason,
+            }
+            for group_id, reason in sorted(summary["fallback_groups"].items())
+        ],
+    }
 
-    rows = []
+
+def _print_vectorization_table(label: str, plan, scale: str) -> None:
+    """Render one plan's per-group kernel-vs-fallback table."""
+    summary = plan.vector_summary()
+    print(
+        f"[{label}] scale={scale}: "
+        f"{summary['vectorizable_specs']}/{summary['total_specs']} specs "
+        f"vectorize; {summary['vector_groups']} lockstep group(s) -> "
+        f"{summary['mega_batches']} mega-batch launch(es)"
+    )
+    fallback = summary["fallback_groups"]
+    rows = [("group", "protocol", "configuration", "reps", "status")]
+    for group in plan.groups:
+        columns = ", ".join(f"{key}={value}" for key, value in group.columns)
+        status = (
+            "vector kernel"
+            if group.group_id not in fallback
+            else f"fallback: {fallback[group.group_id]}"
+        )
+        rows.append(
+            (
+                str(group.group_id),
+                group.protocol_name,
+                columns or "-",
+                str(len(group.seeds)),
+                status,
+            )
+        )
+    widths = [
+        max(len(row[column]) for row in rows) for column in range(4)
+    ]
+    for row in rows:
+        print(
+            "  "
+            + "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            + "  "
+            + row[4]
+        )
+    print()
+
+
+def _experiment_rows(*, vectorization: bool = False) -> list[dict[str, object]]:
+    from repro.experiments import experiments as exp_module
+    from repro.experiments.experiments import EXPERIMENT_PLANS
+
+    rows: list[dict[str, object]] = []
     for exp_id in sorted(ALL_EXPERIMENTS):
         spec = getattr(exp_module, f"{exp_id}_SPEC")
-        rows.append(
-            {"id": exp_id, "title": spec.title, "bench_target": spec.bench_target}
-        )
+        row: dict[str, object] = {
+            "id": exp_id, "title": spec.title, "bench_target": spec.bench_target
+        }
+        if vectorization:
+            row["vectorization"] = _vectorization_payload(
+                EXPERIMENT_PLANS[exp_id]()
+            )
+        rows.append(row)
     return rows
 
 
-def _scenario_rows() -> list[dict[str, object]]:
+def _scenario_rows(*, vectorization: bool = False) -> list[dict[str, object]]:
     from repro.scenarios.catalog import builtin_scenarios
 
     rows = []
     for scenario_id in sorted(builtin_scenarios()):
         scenario = builtin_scenarios()[scenario_id]
-        rows.append(
-            {
-                "id": scenario.scenario_id,
-                "title": scenario.title,
-                "protocols": list(scenario.protocols),
-                "tags": list(scenario.tags),
-                "max_slots": scenario.max_slots,
-                "replications": scenario.replications,
-                "content_hash": scenario.content_hash(),
-            }
-        )
+        row: dict[str, object] = {
+            "id": scenario.scenario_id,
+            "title": scenario.title,
+            "protocols": list(scenario.protocols),
+            "tags": list(scenario.tags),
+            "max_slots": scenario.max_slots,
+            "replications": scenario.replications,
+            "content_hash": scenario.content_hash(),
+        }
+        if vectorization:
+            from repro.scenarios.runner import build_plan
+
+            row["vectorization"] = _vectorization_payload(build_plan(scenario))
+        rows.append(row)
     return rows
 
 
@@ -441,8 +535,11 @@ def _print_scenario_table(scenarios: list[dict[str, object]]) -> None:
 
 
 def _command_list(args: argparse.Namespace) -> int:
-    experiments = _experiment_rows()
-    scenarios = _scenario_rows()
+    # The machine-readable listing carries each entry's vectorization
+    # coverage (kernel counts + named fallback reasons); the plain table
+    # skips the probe to stay instant.
+    experiments = _experiment_rows(vectorization=args.json)
+    scenarios = _scenario_rows(vectorization=args.json)
     if args.json:
         print(
             json.dumps(
@@ -513,6 +610,13 @@ def _write_report_json(
 def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     ids = _normalise_ids(args.experiments, parser)
     seeds = _parse_seeds(args.seeds, parser)
+    if args.explain:
+        from repro.experiments.experiments import EXPERIMENT_PLANS
+
+        for exp_id in ids:
+            plan = EXPERIMENT_PLANS[exp_id](scale=args.scale, seeds=seeds)
+            _print_vectorization_table(exp_id, plan, args.scale)
+        return 0
     build_backend = _backend_builder(args, parser)
     out_dir = _prepare_out_dir(args.out, parser)
     _prepare_bench_out(args.bench_out, parser)
@@ -679,20 +783,35 @@ def _command_equivalence(
         from repro.adversary.arrivals import BatchArrivals
         from repro.adversary.composite import CompositeAdversary
         from repro.analysis.equivalence import verify_vector_equivalence
+        from repro.core.low_sensing import LowSensingBackoff
         from repro.experiments.plan import RunSpec, factory
         from repro.protocols.binary_exponential import BinaryExponentialBackoff
         from repro.protocols.fixed_probability import FixedProbabilityProtocol
+        from repro.protocols.mw_full_sensing import FullSensingMultiplicativeWeights
         from repro.protocols.polynomial_backoff import PolynomialBackoff
+        from repro.protocols.sawtooth import SawtoothBackoff
 
         batch_sizes = _parse_positive_ints(args.batch_sizes, parser, "--batch-sizes")
         seeds = range(1, args.replications + 1)
+        sensing_protocols = (
+            LowSensingBackoff(),
+            SawtoothBackoff(),
+            FullSensingMultiplicativeWeights(),
+        )
         for n in batch_sizes:
             adversary = factory(CompositeAdversary, factory(BatchArrivals, n))
-            for protocol in (
+            core_protocols = (
                 BinaryExponentialBackoff(),
                 PolynomialBackoff(),
                 FixedProbabilityProtocol.tuned_for(n),
-            ):
+            )
+            if args.protocols == "core":
+                protocols = core_protocols
+            elif args.protocols == "sensing":
+                protocols = sensing_protocols
+            else:
+                protocols = core_protocols + sensing_protocols
+            for protocol in protocols:
                 specs = [
                     RunSpec(protocol=protocol, adversary=adversary, seed=seed)
                     for seed in seeds

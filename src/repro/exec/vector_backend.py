@@ -1,11 +1,13 @@
 """The vector execution backend.
 
 :class:`VectorBackend` accepts an arbitrary batch of jobs, groups the specs
-that can vectorize by everything-but-the-seed, runs each group through one
-:class:`~repro.sim.vector.VectorSimulator` call (all replications in
-lockstep), and transparently delegates every remaining job to a fallback
-backend (serial by default).  Results always come back in job order, so the
-backend is a drop-in replacement anywhere a backend is accepted.
+that can vectorize by everything-but-the-seed, **stacks compatible groups
+into mega-batches** (one ragged lockstep launch per protocol/arrival/jammer
+kernel family, parameters promoted to per-row arrays), runs each mega-batch
+through one :class:`~repro.sim.vector.VectorSimulator` call, and
+transparently delegates every remaining job to a fallback backend (serial
+by default).  Results always come back in job order, so the backend is a
+drop-in replacement anywhere a backend is accepted.
 
 Contract differences from the other backends:
 
@@ -14,8 +16,13 @@ Contract differences from the other backends:
 * vectorized results are **statistically equivalent** to serial results,
   not bit-identical — the vector engine draws per-replication Philox
   streams instead of per-packet ``random.Random`` streams.  Repeated
-  ``VectorBackend`` runs of the same batch are bit-identical.  See
-  ``repro.analysis.equivalence`` for the checking harness.
+  ``VectorBackend`` runs of the same batch are bit-identical, and
+  mega-batched execution is bit-identical to per-group vector execution
+  (each group keeps its own coin geometry inside the stacked batch), so
+  mega-batching changes wall-clock only — never results, and never the
+  ``batch_signature`` storage identities the campaign store files
+  vectorized results under.  See ``repro.analysis.equivalence`` for the
+  checking harness.
 
 Only jobs that declare their vectorizability (``vector_support()``, i.e.
 :class:`~repro.experiments.plan.RunSpec`) are eligible; opaque jobs such as
@@ -45,6 +52,68 @@ def _cached_group_key(job: Any) -> Any | None:
     return (job.protocol, job.adversary, job.max_slots, job.stop_when_drained)
 
 
+def _qualname(instance: Any) -> str:
+    cls = type(instance)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+@functools.lru_cache(maxsize=4096)
+def _cached_mega_key(job: Any) -> Any | None:
+    """The kernel-family identity that decides mega-batch compatibility.
+
+    Two vector groups stack into one lockstep mega-batch exactly when they
+    share the protocol class, the arrival-process class, the jammer class,
+    and the engine options — parameters may differ (they are promoted to
+    per-row arrays by the kernels).  Scheduled components only merge when
+    the whole schedule is identical, so their canonical identity (the
+    same ``scheduled_identity`` the engine's ``from_spec_groups``
+    validation compares) joins the key.  ``None`` when the job cannot
+    vectorize at all.
+    """
+    from repro.sim.vector.support import scheduled_identity
+
+    if job.vector_support() is not None:
+        return None
+    config = job.build_config()
+    adversary = config.adversary
+    components = tuple(
+        (_qualname(component), scheduled_identity(component))
+        for component in (adversary.arrival_process, adversary.jammer)
+    )
+    return (
+        _qualname(job.protocol),
+        components,
+        job.max_slots,
+        job.stop_when_drained,
+    )
+
+
+def vector_group_key(job: RunJob) -> Any | None:
+    """Public everything-but-the-seed grouping identity of one job.
+
+    ``None`` means the job takes the serial fallback.  This is the key the
+    backend groups by, exposed so the planning layer
+    (:meth:`~repro.experiments.plan.SweepPlan.vector_summary`) can count
+    lockstep groups without running anything.
+    """
+    if not callable(getattr(job, "vector_support", None)):
+        return None
+    try:
+        # The lru_cache hashes the job, which also guarantees the derived
+        # key tuple is hashable.
+        return _cached_group_key(job)
+    except (AttributeError, TypeError):
+        return None
+
+
+def vector_mega_key(job: RunJob) -> Any | None:
+    """Public mega-batch compatibility identity of one job (or ``None``)."""
+    try:
+        return _cached_mega_key(job)
+    except (AttributeError, TypeError):
+        return None
+
+
 class VectorBackend(ExecutionBackend):
     """Vectorizes qualifying spec groups; falls back serially otherwise.
 
@@ -53,20 +122,33 @@ class VectorBackend(ExecutionBackend):
     fallback:
         Backend used for jobs the vector engine cannot run (defaults to
         :class:`SerialBackend`).
+    mega_batch:
+        When True (the default), compatible replication groups are stacked
+        into one lockstep launch per kernel family; per-group execution
+        (``mega_batch=False``) produces bit-identical results with one
+        kernel launch per group — the benchmark baseline.
 
-    The counters ``vectorized_jobs``, ``fallback_jobs``, and
-    ``vector_groups`` accumulate across :meth:`run` calls (like the result
-    cache's hit/miss counters) and are included in :meth:`describe`, so run
-    reports show how much of a sweep actually vectorized.
+    The counters ``vectorized_jobs``, ``fallback_jobs``, ``vector_groups``,
+    and ``mega_batches`` accumulate across :meth:`run` calls (like the
+    result cache's hit/miss counters) and are included in :meth:`describe`,
+    so run reports show how much of a sweep actually vectorized and how
+    many kernel launches it cost.
     """
 
     name = "vector"
 
-    def __init__(self, fallback: ExecutionBackend | None = None) -> None:
+    def __init__(
+        self,
+        fallback: ExecutionBackend | None = None,
+        *,
+        mega_batch: bool = True,
+    ) -> None:
         self.fallback = fallback or SerialBackend()
+        self.mega_batch = mega_batch
         self.vectorized_jobs = 0
         self.fallback_jobs = 0
         self.vector_groups = 0
+        self.mega_batches = 0
 
     def run(self, jobs: Sequence[RunJob]) -> list[SimulationResult]:
         from repro.sim.vector import VectorSimulator
@@ -81,9 +163,27 @@ class VectorBackend(ExecutionBackend):
                 fallback_indices.append(index)
             else:
                 groups.setdefault(key, []).append(index)
-        for indices in groups.values():
-            batch = VectorSimulator.from_specs([jobs[index] for index in indices])
-            for index, result in zip(indices, batch.run()):
+        # Stack compatible groups into mega-batches: one ragged lockstep
+        # launch per kernel family instead of one launch per configuration.
+        batches: dict[Any, list[list[int]]] = {}
+        for key, indices in groups.items():
+            mega_key = (
+                self._mega_key(jobs[indices[0]]) if self.mega_batch else None
+            )
+            batches.setdefault(mega_key if mega_key is not None else key, []).append(
+                indices
+            )
+        for index_groups in batches.values():
+            if len(index_groups) == 1:
+                batch = VectorSimulator.from_specs(
+                    [jobs[index] for index in index_groups[0]]
+                )
+            else:
+                batch = VectorSimulator.from_spec_groups(
+                    [[jobs[index] for index in indices] for indices in index_groups]
+                )
+            flat = [index for indices in index_groups for index in indices]
+            for index, result in zip(flat, batch.run()):
                 results[index] = result
         if fallback_indices:
             fresh = self.fallback.run([jobs[index] for index in fallback_indices])
@@ -92,6 +192,7 @@ class VectorBackend(ExecutionBackend):
         self.vectorized_jobs += len(jobs) - len(fallback_indices)
         self.fallback_jobs += len(fallback_indices)
         self.vector_groups += len(groups)
+        self.mega_batches += len(batches)
         return results  # type: ignore[return-value]
 
     def result_layout(self, job: RunJob) -> str | None:
@@ -107,16 +208,8 @@ class VectorBackend(ExecutionBackend):
             return None
         return self.fallback.result_layout(job)
 
-    @staticmethod
-    def _group_key(job: RunJob) -> Any | None:
-        if not callable(getattr(job, "vector_support", None)):
-            return None
-        try:
-            # The lru_cache hashes the job, which also guarantees the
-            # derived key tuple is hashable.
-            return _cached_group_key(job)
-        except (AttributeError, TypeError):
-            return None
+    _group_key = staticmethod(vector_group_key)
+    _mega_key = staticmethod(vector_mega_key)
 
     def describe(self) -> dict[str, Any]:
         return {
@@ -124,5 +217,7 @@ class VectorBackend(ExecutionBackend):
             "vectorized_jobs": self.vectorized_jobs,
             "fallback_jobs": self.fallback_jobs,
             "vector_groups": self.vector_groups,
+            "mega_batches": self.mega_batches,
+            "mega_batch": self.mega_batch,
             "fallback": self.fallback.describe(),
         }

@@ -91,32 +91,8 @@ def _migrate(entry: Any) -> dict[str, Any]:
     return {"latest": None, "history": []}
 
 
-def record_bench(
-    path: str | os.PathLike[str],
-    exp_id: str,
-    *,
-    seconds: float,
-    scale: str,
-    backend: dict[str, Any] | None = None,
-    extra: dict[str, Any] | None = None,
-) -> dict[str, Any]:
-    """Merge one timing record into ``path`` and return the record.
-
-    ``backend`` is the executing backend's ``describe()`` snapshot;
-    ``extra`` holds free-form caller fields (replicate counts, speedups…).
-    """
-    bench_path = Path(path)
-    record: dict[str, Any] = {
-        "seconds": round(seconds, 4),
-        "scale": scale,
-        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
-            timespec="seconds"
-        ),
-    }
-    if backend is not None:
-        record["backend"] = backend
-    if extra:
-        record.update(extra)
+def _merge_record(bench_path: Path, exp_id: str, record: dict[str, Any]) -> None:
+    """Merge one record into a history file (atomic replace)."""
     data = _load(bench_path)
     entry = _migrate(data.get(exp_id))
     entry["latest"] = record
@@ -134,4 +110,45 @@ def record_bench(
         json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     temporary.replace(bench_path)
+
+
+def record_bench(
+    path: str | os.PathLike[str],
+    exp_id: str,
+    *,
+    seconds: float,
+    scale: str,
+    backend: dict[str, Any] | None = None,
+    extra: dict[str, Any] | None = None,
+    mirror: str | os.PathLike[str] | None = None,
+) -> dict[str, Any]:
+    """Merge one timing record into ``path`` and return the record.
+
+    ``backend`` is the executing backend's ``describe()`` snapshot;
+    ``extra`` holds free-form caller fields (replicate counts, speedups…).
+    ``mirror``, when given, merges the *same* record into a second history
+    file — the benchmark suite mirrors its headline metrics from
+    ``benchmarks/results/`` to the repo root this way, so the perf
+    trajectory is visible where tooling looks for ``BENCH_*.json``
+    without splitting the history in two.
+    """
+    bench_path = Path(path)
+    record: dict[str, Any] = {
+        "seconds": round(seconds, 4),
+        "scale": scale,
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+    if backend is not None:
+        record["backend"] = backend
+    if extra:
+        record.update(extra)
+    _merge_record(bench_path, exp_id, record)
+    if mirror is not None:
+        mirror_path = Path(mirror)
+        # Resolve both sides so a differently spelled path (relative vs
+        # absolute, symlinked) to the same file is not merged twice.
+        if mirror_path.resolve() != bench_path.resolve():
+            _merge_record(mirror_path, exp_id, record)
     return record

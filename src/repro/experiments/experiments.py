@@ -101,15 +101,12 @@ E1_SPEC = ExperimentSpec(
 )
 
 
-def run_e1_throughput_batch(
-    scale: str = "default",
-    seeds: Sequence[int] | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentReport:
-    """Sweep batch size N for every protocol and record overall throughput."""
+def build_e1_plan(
+    scale: str = "default", seeds: Sequence[int] | None = None
+) -> SweepPlan:
+    """The E1 grid: batch size N × every protocol, replicated over seeds."""
     scale = check_scale(scale)
     seeds = _seeds(scale, seeds)
-    report = ExperimentReport(spec=E1_SPEC)
     sizes = _batch_sizes(scale)
     protocols: list = [
         LowSensingBackoff(),
@@ -124,6 +121,18 @@ def run_e1_throughput_batch(
             plan.add_group(
                 protocol, _batch_adversary(n), seeds, columns={"n": n}
             )
+    return plan
+
+
+def run_e1_throughput_batch(
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    """Sweep batch size N for every protocol and record overall throughput."""
+    scale = check_scale(scale)
+    report = ExperimentReport(spec=E1_SPEC)
+    plan = build_e1_plan(scale, seeds)
     for row in plan.run(backend).group_rows():
         report.add_row(row)
     # Verdict: is low-sensing throughput flat while BEB's declines?
@@ -154,16 +163,17 @@ E2_SPEC = ExperimentSpec(
 )
 
 
-def run_e2_implicit_throughput(
-    scale: str = "default",
-    seeds: Sequence[int] | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentReport:
-    """Long queueing runs; record the minimum implicit throughput over time."""
+def _e2_horizon(scale: str) -> int:
+    return {"smoke": 2_000, "default": 15_000, "full": 60_000}[scale]
+
+
+def build_e2_plan(
+    scale: str = "default", seeds: Sequence[int] | None = None
+) -> SweepPlan:
+    """The E2 grid: adversarial-queuing configurations at a long horizon."""
     scale = check_scale(scale)
     seeds = _seeds(scale, seeds)
-    report = ExperimentReport(spec=E2_SPEC)
-    horizon = {"smoke": 2_000, "default": 15_000, "full": 60_000}[scale]
+    horizon = _e2_horizon(scale)
     configs = [
         (0.1, 100, "front"),
         (0.2, 200, "front"),
@@ -181,6 +191,19 @@ def run_e2_implicit_throughput(
             columns={"rate": rate, "granularity": granularity, "placement": placement},
             max_slots=horizon * 4,
         )
+    return plan
+
+
+def run_e2_implicit_throughput(
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    """Long queueing runs; record the minimum implicit throughput over time."""
+    scale = check_scale(scale)
+    report = ExperimentReport(spec=E2_SPEC)
+    horizon = _e2_horizon(scale)
+    plan = build_e2_plan(scale, seeds)
     results = plan.run(backend)
     for group in plan.groups:
         columns = dict(group.columns)
@@ -224,15 +247,12 @@ E3_SPEC = ExperimentSpec(
 )
 
 
-def run_e3_backlog(
-    scale: str = "default",
-    seeds: Sequence[int] | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentReport:
-    """Sweep the granularity S and record max backlog relative to S."""
+def build_e3_plan(
+    scale: str = "default", seeds: Sequence[int] | None = None
+) -> SweepPlan:
+    """The E3 grid: queueing granularity sweep at fixed rate."""
     scale = check_scale(scale)
     seeds = _seeds(scale, seeds)
-    report = ExperimentReport(spec=E3_SPEC)
     granularities = {"smoke": [100], "default": [100, 200, 400], "full": [100, 200, 400, 800]}[
         scale
     ]
@@ -248,6 +268,18 @@ def run_e3_backlog(
             columns={"granularity": granularity, "rate": rate, "horizon": horizon},
             max_slots=horizon * 4,
         )
+    return plan
+
+
+def run_e3_backlog(
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    """Sweep the granularity S and record max backlog relative to S."""
+    scale = check_scale(scale)
+    report = ExperimentReport(spec=E3_SPEC)
+    plan = build_e3_plan(scale, seeds)
     for row in plan.run(backend).group_rows():
         row["max_backlog_over_s"] = row["max_backlog"] / row["granularity"]
         report.add_row(row)
@@ -274,15 +306,12 @@ E4_SPEC = ExperimentSpec(
 )
 
 
-def run_e4_energy_finite(
-    scale: str = "default",
-    seeds: Sequence[int] | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentReport:
-    """Sweep N (and a jamming budget proportional to N); fit access scaling."""
+def build_e4_plan(
+    scale: str = "default", seeds: Sequence[int] | None = None
+) -> SweepPlan:
+    """The E4 grid: batch size × jamming-budget fraction."""
     scale = check_scale(scale)
     seeds = _seeds(scale, seeds)
-    report = ExperimentReport(spec=E4_SPEC)
     sizes = _batch_sizes(scale)
     jam_fractions = [0.0, 0.5] if scale != "smoke" else [0.0]
     plan = SweepPlan()
@@ -300,6 +329,18 @@ def run_e4_energy_finite(
                 seeds,
                 columns={"n": n, "jam_budget": budget},
             )
+    return plan
+
+
+def run_e4_energy_finite(
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    """Sweep N (and a jamming budget proportional to N); fit access scaling."""
+    scale = check_scale(scale)
+    report = ExperimentReport(spec=E4_SPEC)
+    plan = build_e4_plan(scale, seeds)
     for row in plan.run(backend).group_rows():
         row["n_plus_j"] = row["n"] + row["jam_budget"]
         report.add_row(row)
@@ -334,15 +375,12 @@ E5_SPEC = ExperimentSpec(
 )
 
 
-def run_e5_energy_queueing(
-    scale: str = "default",
-    seeds: Sequence[int] | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentReport:
-    """Sweep granularity S; record per-packet access statistics."""
+def build_e5_plan(
+    scale: str = "default", seeds: Sequence[int] | None = None
+) -> SweepPlan:
+    """The E5 grid: queueing granularity sweep for energy statistics."""
     scale = check_scale(scale)
     seeds = _seeds(scale, seeds)
-    report = ExperimentReport(spec=E5_SPEC)
     granularities = {"smoke": [100], "default": [100, 200, 400, 800], "full": [100, 200, 400, 800, 1600]}[
         scale
     ]
@@ -358,6 +396,18 @@ def run_e5_energy_queueing(
             columns={"granularity": granularity, "rate": rate, "horizon": horizon},
             max_slots=horizon * 4,
         )
+    return plan
+
+
+def run_e5_energy_queueing(
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    """Sweep granularity S; record per-packet access statistics."""
+    scale = check_scale(scale)
+    report = ExperimentReport(spec=E5_SPEC)
+    plan = build_e5_plan(scale, seeds)
     for row in plan.run(backend).group_rows():
         report.add_row(row)
     xs = report.column("granularity")
@@ -387,15 +437,12 @@ E6_SPEC = ExperimentSpec(
 )
 
 
-def run_e6_reactive(
-    scale: str = "default",
-    seeds: Sequence[int] | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentReport:
-    """Sweep the reactive jamming budget aimed at one victim packet."""
+def build_e6_plan(
+    scale: str = "default", seeds: Sequence[int] | None = None
+) -> SweepPlan:
+    """The E6 grid: reactive jamming budgets aimed at one victim packet."""
     scale = check_scale(scale)
     seeds = _seeds(scale, seeds)
-    report = ExperimentReport(spec=E6_SPEC)
     n = 100 if scale == "smoke" else 200
     budgets = [0, 25, 100, 400] if scale != "smoke" else [0, 25]
     plan = SweepPlan()
@@ -411,6 +458,18 @@ def run_e6_reactive(
             columns={"n": n, "jam_budget": budget},
             max_slots=500_000,
         )
+    return plan
+
+
+def run_e6_reactive(
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    """Sweep the reactive jamming budget aimed at one victim packet."""
+    scale = check_scale(scale)
+    report = ExperimentReport(spec=E6_SPEC)
+    plan = build_e6_plan(scale, seeds)
     results = plan.run(backend)
     for group in plan.groups:
         columns = dict(group.columns)
@@ -458,15 +517,12 @@ E7_SPEC = ExperimentSpec(
 )
 
 
-def run_e7_jamming_throughput(
-    scale: str = "default",
-    seeds: Sequence[int] | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentReport:
-    """Batch workload under several jamming strategies and protocols."""
+def build_e7_plan(
+    scale: str = "default", seeds: Sequence[int] | None = None
+) -> SweepPlan:
+    """The E7 grid: jamming strategies × protocols on a batch workload."""
     scale = check_scale(scale)
     seeds = _seeds(scale, seeds)
-    report = ExperimentReport(spec=E7_SPEC)
     n = 100 if scale == "smoke" else 300
     jammers: list[tuple[str, Factory]] = [
         ("none", factory(NoJamming)),
@@ -492,6 +548,18 @@ def run_e7_jamming_throughput(
                 seeds,
                 columns={"n": n, "jammer": jammer_name},
             )
+    return plan
+
+
+def run_e7_jamming_throughput(
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    """Batch workload under several jamming strategies and protocols."""
+    scale = check_scale(scale)
+    report = ExperimentReport(spec=E7_SPEC)
+    plan = build_e7_plan(scale, seeds)
     for row in plan.run(backend).group_rows():
         report.add_row(row)
     lsb_rows = [r for r in report.rows if r["protocol"] == "low-sensing"]
@@ -518,16 +586,17 @@ E8_SPEC = ExperimentSpec(
 )
 
 
-def run_e8_energy_throughput_tradeoff(
-    scale: str = "default",
-    seeds: Sequence[int] | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentReport:
-    """Record the (throughput, accesses/packet) pair for every protocol."""
+def _e8_sizes(scale: str) -> list[int]:
+    return [100] if scale == "smoke" else [200, 400]
+
+
+def build_e8_plan(
+    scale: str = "default", seeds: Sequence[int] | None = None
+) -> SweepPlan:
+    """The E8 grid: every protocol at each batch size."""
     scale = check_scale(scale)
     seeds = _seeds(scale, seeds)
-    report = ExperimentReport(spec=E8_SPEC)
-    sizes = [100] if scale == "smoke" else [200, 400]
+    sizes = _e8_sizes(scale)
     protocols = [
         LowSensingBackoff(),
         FullSensingMultiplicativeWeights(),
@@ -541,6 +610,19 @@ def run_e8_energy_throughput_tradeoff(
             plan.add_group(
                 protocol, _batch_adversary(n), seeds, columns={"n": n}
             )
+    return plan
+
+
+def run_e8_energy_throughput_tradeoff(
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    """Record the (throughput, accesses/packet) pair for every protocol."""
+    scale = check_scale(scale)
+    report = ExperimentReport(spec=E8_SPEC)
+    sizes = _e8_sizes(scale)
+    plan = build_e8_plan(scale, seeds)
     for row in plan.run(backend).group_rows():
         report.add_row(row)
     for n in sizes:
@@ -573,15 +655,12 @@ E9_SPEC = ExperimentSpec(
 )
 
 
-def run_e9_potential_drift(
-    scale: str = "default",
-    seeds: Sequence[int] | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentReport:
-    """Track Φ(t) on batch and bursty workloads; report drift statistics."""
+def build_e9_plan(
+    scale: str = "default", seeds: Sequence[int] | None = None
+) -> SweepPlan:
+    """The E9 grid: batch and bursty workloads with potential tracking."""
     scale = check_scale(scale)
     seeds = _seeds(scale, seeds)
-    report = ExperimentReport(spec=E9_SPEC)
     n = 100 if scale == "smoke" else 400
     workloads: list[tuple[str, Factory]] = [
         ("batch", _batch_adversary(n)),
@@ -609,6 +688,18 @@ def run_e9_potential_drift(
             max_slots=500_000,
             collect_potential=True,
         )
+    return plan
+
+
+def run_e9_potential_drift(
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    """Track Φ(t) on batch and bursty workloads; report drift statistics."""
+    scale = check_scale(scale)
+    report = ExperimentReport(spec=E9_SPEC)
+    plan = build_e9_plan(scale, seeds)
     results = plan.run(backend)
     for group in plan.groups:
         columns = dict(group.columns)
@@ -659,15 +750,12 @@ A1_SPEC = ExperimentSpec(
 )
 
 
-def run_a1_ablation(
-    scale: str = "default",
-    seeds: Sequence[int] | None = None,
-    backend: ExecutionBackend | None = None,
-) -> ExperimentReport:
-    """Compare LOW-SENSING variants (constants, decoupled coins) on a batch."""
+def build_a1_plan(
+    scale: str = "default", seeds: Sequence[int] | None = None
+) -> SweepPlan:
+    """The A1 grid: LOW-SENSING parameter and coupling variants."""
     scale = check_scale(scale)
     seeds = _seeds(scale, seeds)
-    report = ExperimentReport(spec=A1_SPEC)
     n = 100 if scale == "smoke" else 300
     variants: list[tuple[str, object]] = [
         ("default (c=0.5, w_min=32)", LowSensingBackoff()),
@@ -691,6 +779,18 @@ def run_a1_ablation(
             seeds,
             columns={"variant": label, "n": n},
         )
+    return plan
+
+
+def run_a1_ablation(
+    scale: str = "default",
+    seeds: Sequence[int] | None = None,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    """Compare LOW-SENSING variants (constants, decoupled coins) on a batch."""
+    scale = check_scale(scale)
+    report = ExperimentReport(spec=A1_SPEC)
+    plan = build_a1_plan(scale, seeds)
     for row in plan.run(backend).group_rows():
         report.add_row(row)
     throughputs = {row["variant"]: row["throughput"] for row in report.rows}
@@ -712,4 +812,21 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "E8": run_e8_energy_throughput_tradeoff,
     "E9": run_e9_potential_drift,
     "A1": run_a1_ablation,
+}
+
+#: Plan builders, one per experiment: the declarative grid *without* running
+#: it.  ``run --explain`` and ``list --json`` introspect vectorization
+#: coverage through these, and every ``run_*`` function above executes
+#: exactly the plan its builder returns.
+EXPERIMENT_PLANS: dict[str, Callable[..., SweepPlan]] = {
+    "E1": build_e1_plan,
+    "E2": build_e2_plan,
+    "E3": build_e3_plan,
+    "E4": build_e4_plan,
+    "E5": build_e5_plan,
+    "E6": build_e6_plan,
+    "E7": build_e7_plan,
+    "E8": build_e8_plan,
+    "E9": build_e9_plan,
+    "A1": build_a1_plan,
 }

@@ -17,6 +17,7 @@ budget unit is spent only when a jam actually happens.
 from __future__ import annotations
 
 import abc
+from typing import Sequence
 
 import numpy as np
 
@@ -181,22 +182,74 @@ class ScheduledArrivalsVector(VectorArrivals):
 # ---------------------------------------------------------------------------
 
 
+JammerRows = Sequence[tuple[Jammer, int]]
+
+
+def _jammer_rows(pairs: JammerRows) -> int:
+    return sum(count for _, count in pairs)
+
+
+def _jam_param(pairs: JammerRows, getter, none_as=None):
+    """Promote a per-jammer parameter to a per-row ``(R,)`` array.
+
+    Returns the plain (scalar) value when it is uniform across rows, so the
+    single-config kernels keep their scalar early-outs; per-row arrays
+    otherwise.  Both layouts produce identical per-row decisions, which is
+    what keeps mega-batched jamming bit-identical to per-group runs.
+    """
+    values = []
+    for jammer, _ in pairs:
+        value = getter(jammer)
+        values.append(none_as if value is None else value)
+    if all(value == values[0] for value in values):
+        return values[0]
+    return np.repeat(
+        np.asarray(values), [count for _, count in pairs]
+    )
+
+
 class VectorJammer(abc.ABC):
-    """Per-slot jamming decisions for one batch, with budget bookkeeping."""
+    """Per-slot jamming decisions for one batch, with budget bookkeeping.
+
+    Built from ``(jammer, rows)`` pairs so a mega-batch can stack
+    configurations of one jammer family with different parameters (promoted
+    to per-row arrays); the single-pair case is the classic one-config
+    batch.
+    """
 
     #: True when :meth:`jam` can never return a jammed slot (lets the
     #: engine skip the jam masks entirely on the common unjammed path).
     never_jams: bool = False
 
-    def __init__(self, jammer: Jammer, replications: int) -> None:
+    #: Sentinel for "no budget" rows when budgets are promoted per row.
+    _NO_BUDGET = np.iinfo(np.int64).max
+
+    def __init__(self, pairs: JammerRows) -> None:
+        replications = _jammer_rows(pairs)
         self.replications = replications
-        budget = getattr(jammer, "budget", None)
+        budget = _jam_param(
+            pairs, lambda j: getattr(j, "budget", None), none_as=self._NO_BUDGET
+        )
+        if not isinstance(budget, np.ndarray) and budget == self._NO_BUDGET:
+            budget = None
         self._budget = budget
         self._used = np.zeros(replications, dtype=np.int64)
         self._false = np.zeros(replications, dtype=bool)
 
-    def begin_chunk(self, start: int, count: int, streams: VectorStreams) -> None:
-        """Draw whatever randomness the next ``count`` slots need."""
+    def begin_chunk(
+        self,
+        start: int,
+        count: int,
+        streams: VectorStreams,
+        running: np.ndarray | None = None,
+    ) -> None:
+        """Draw whatever randomness the next ``count`` slots need.
+
+        ``running`` masks replications whose execution already ended;
+        their draws are skipped (nothing ever reads them — finish times
+        are a deterministic function of the seeds, so skipping keeps runs
+        bit-reproducible, exactly like the packet coin blocks).
+        """
 
     @abc.abstractmethod
     def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
@@ -220,64 +273,94 @@ class VectorJammer(abc.ABC):
 class NoJammingVector(VectorJammer):
     never_jams = True
 
-    def __init__(self, jammer: NoJamming, replications: int) -> None:
-        super().__init__(jammer, replications)
-
     def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
         return self._false
 
 
 class PeriodicJammingVector(VectorJammer):
-    def __init__(self, jammer: PeriodicJamming, replications: int) -> None:
-        super().__init__(jammer, replications)
-        self._period = jammer.period
-        self._offset = jammer.offset
+    def __init__(self, pairs: JammerRows) -> None:
+        super().__init__(pairs)
+        self._period = _jam_param(pairs, lambda j: j.period)
+        self._offset = _jam_param(pairs, lambda j: j.offset)
 
     def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
-        if slot < self._offset or (slot - self._offset) % self._period != 0:
+        if not isinstance(self._period, np.ndarray) and not isinstance(
+            self._offset, np.ndarray
+        ):
+            if slot < self._offset or (slot - self._offset) % self._period != 0:
+                return self._false
+            return self._apply_budget(running.copy())
+        offset = slot - self._offset
+        on_slot = (offset >= 0) & (offset % self._period == 0)
+        if not on_slot.any():
             return self._false
-        return self._apply_budget(running.copy())
+        return self._apply_budget(running & on_slot)
 
 
 class BurstJammingVector(VectorJammer):
-    def __init__(self, jammer: BurstJamming, replications: int) -> None:
-        super().__init__(jammer, replications)
-        self._start = jammer.start
-        self._length = jammer.length
-        self._period = jammer.period
+    def __init__(self, pairs: JammerRows) -> None:
+        super().__init__(pairs)
+        # period=None (one-shot burst) promotes to 0 in the per-row layout.
+        self._start = _jam_param(pairs, lambda j: j.start)
+        self._length = _jam_param(pairs, lambda j: j.length)
+        self._period = _jam_param(pairs, lambda j: j.period, none_as=0)
 
     def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
-        if slot < self._start:
-            return self._false
-        offset = slot - self._start
-        in_burst = (
-            (offset % self._period) < self._length if self._period else offset < self._length
+        uniform = not any(
+            isinstance(param, np.ndarray)
+            for param in (self._start, self._length, self._period)
         )
-        if not in_burst:
+        if uniform:
+            if slot < self._start:
+                return self._false
+            offset = slot - self._start
+            in_burst = (
+                (offset % self._period) < self._length
+                if self._period
+                else offset < self._length
+            )
+            if not in_burst:
+                return self._false
+            return self._apply_budget(running.copy())
+        offset = slot - self._start
+        period = np.asarray(self._period)
+        repeating = (offset % np.where(period > 0, period, 1)) < self._length
+        one_shot = offset < self._length
+        in_burst = (offset >= 0) & np.where(period > 0, repeating, one_shot)
+        if not in_burst.any():
             return self._false
-        return self._apply_budget(running.copy())
+        return self._apply_budget(running & in_burst)
 
 
 class BernoulliJammingVector(VectorJammer):
-    def __init__(self, jammer: BernoulliJamming, replications: int) -> None:
-        super().__init__(jammer, replications)
-        self._probability = jammer.probability
-        self._only_active = jammer.only_active
+    def __init__(self, pairs: JammerRows) -> None:
+        super().__init__(pairs)
+        self._probability = _jam_param(pairs, lambda j: j.probability)
+        self._only_active = _jam_param(pairs, lambda j: j.only_active)
         self._chunk_start = 0
         self._uniforms: np.ndarray | None = None
 
-    def begin_chunk(self, start: int, count: int, streams: VectorStreams) -> None:
-        uniforms = np.empty((self.replications, count), dtype=np.float64)
+    def begin_chunk(
+        self,
+        start: int,
+        count: int,
+        streams: VectorStreams,
+        running: np.ndarray | None = None,
+    ) -> None:
+        if self._uniforms is None or self._uniforms.shape[1] != count:
+            self._uniforms = np.empty((self.replications, count), dtype=np.float64)
         for index, generator in enumerate(streams.adversary_generators):
-            uniforms[index] = generator.random(count)
-        self._uniforms = uniforms
+            if running is None or running[index]:
+                self._uniforms[index] = generator.random(count)
         self._chunk_start = start
 
     def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
         assert self._uniforms is not None, "begin_chunk must precede jam"
         draws = self._uniforms[:, slot - self._chunk_start] < self._probability
         decisions = draws & running
-        if self._only_active:
+        if isinstance(self._only_active, np.ndarray):
+            decisions &= (backlog_pre > 0) | ~self._only_active
+        elif self._only_active:
             decisions &= backlog_pre > 0
         return self._apply_budget(decisions)
 
@@ -291,10 +374,14 @@ class ScheduledJammingVector(VectorJammer):
     sees exactly the (local) slot range it will be asked about.  Budget
     bookkeeping lives in the phase kernels (budgets are per phase, like
     the scalar adapter); ``jams_used`` sums them.
+
+    Schedules never promote parameters per row (mega-batches only merge
+    groups with *identical* schedules), so this kernel keeps the
+    single-instance constructor.
     """
 
     def __init__(self, jammer: ScheduledJamming, replications: int) -> None:
-        super().__init__(jammer, replications)
+        super().__init__([(jammer, replications)])
         self._schedule = jammer.schedule
         self._kernels = [
             make_jammer_kernel(phase.component, replications)
@@ -302,9 +389,15 @@ class ScheduledJammingVector(VectorJammer):
         ]
         self.never_jams = all(kernel.never_jams for kernel in self._kernels)
 
-    def begin_chunk(self, start: int, count: int, streams: VectorStreams) -> None:
+    def begin_chunk(
+        self,
+        start: int,
+        count: int,
+        streams: VectorStreams,
+        running: np.ndarray | None = None,
+    ) -> None:
         for index, local_start, _offset, length in self._schedule.segments(start, count):
-            self._kernels[index].begin_chunk(local_start, length, streams)
+            self._kernels[index].begin_chunk(local_start, length, streams, running)
 
     def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
         located = self._schedule.phase_at(slot)
@@ -339,15 +432,33 @@ def make_arrivals_kernel(process: ArrivalProcess, replications: int) -> VectorAr
     raise TypeError(f"no vector schedule for arrival process {type(process).__name__}")
 
 
-def make_jammer_kernel(jammer: Jammer, replications: int) -> VectorJammer:
+def make_row_jammer_kernel(pairs: JammerRows) -> VectorJammer:
+    """Build one jamming kernel covering every ``(jammer, rows)`` pair.
+
+    All pairs must share one jammer family; parameters are promoted to
+    per-row arrays.  Scheduled jamming never merges across distinct
+    schedules (mega-batch compatibility requires identical schedules), so
+    a scheduled kernel is always built from the first instance.
+    """
+    if not pairs:
+        raise ValueError("at least one jammer row block is required")
+    kinds = {type(jammer) for jammer, _ in pairs}
+    if len(kinds) > 1:
+        names = ", ".join(sorted(kind.__name__ for kind in kinds))
+        raise TypeError(f"cannot stack different jammer types: {names}")
+    jammer = pairs[0][0]
     if isinstance(jammer, ScheduledJamming):
-        return ScheduledJammingVector(jammer, replications)
+        return ScheduledJammingVector(jammer, _jammer_rows(pairs))
     if isinstance(jammer, NoJamming):
-        return NoJammingVector(jammer, replications)
+        return NoJammingVector(pairs)
     if isinstance(jammer, PeriodicJamming):
-        return PeriodicJammingVector(jammer, replications)
+        return PeriodicJammingVector(pairs)
     if isinstance(jammer, BurstJamming):
-        return BurstJammingVector(jammer, replications)
+        return BurstJammingVector(pairs)
     if isinstance(jammer, BernoulliJamming):
-        return BernoulliJammingVector(jammer, replications)
+        return BernoulliJammingVector(pairs)
     raise TypeError(f"no vector kernel for jammer {type(jammer).__name__}")
+
+
+def make_jammer_kernel(jammer: Jammer, replications: int) -> VectorJammer:
+    return make_row_jammer_kernel([(jammer, replications)])

@@ -8,6 +8,29 @@ batch.  The per-slot cost is a fixed number of array operations, so the
 interpreter overhead that dominates the scalar engine is paid once per slot
 instead of once per packet per replication.
 
+Two slot paths share the loop:
+
+* **send-only protocols** compare one coin matrix against the kernel's
+  probability matrix — nothing else ever feeds back into protocol state
+  except an unsuccessful send;
+* **sensing protocols** (LOW-SENSING BACKOFF, Sawtooth, full-sensing MW)
+  additionally produce listener masks, and their state updates consume the
+  engine's per-replication ternary feedback arrays — the ``(R,)`` idle /
+  success / noise row masks derived from the sender counts and the jamming
+  decisions, i.e. exactly what a scalar packet's ``FeedbackReport`` would
+  say about its replication's channel.  Per-packet listen counters feed the
+  energy metrics.
+
+The engine also supports **mega-batches**: several configurations that
+share one protocol/arrival/jammer kernel family (parameters promoted to
+per-row arrays) stacked into a single ragged lockstep batch via
+:meth:`VectorSimulator.from_spec_groups`.  Each configuration keeps its own
+*segment* — its own coin-block geometry, capacity trajectory, and arrival
+schedule — so every replication consumes exactly the random stream it would
+consume in a standalone per-group batch, making mega-batched results
+**bit-identical** to per-group vector execution (enforced by tests).  Only
+the per-slot Python dispatch is shared, which is where the speedup lives.
+
 The engine reproduces the scalar engine's slot semantics exactly (same
 decision order, same channel rules, same metric definitions, same
 stop-when-drained condition) but draws its randomness from per-replication
@@ -35,11 +58,15 @@ from repro.sim.results import PacketRecord, SimulationResult
 from repro.sim.vector.adversaries import (
     CHUNK_SLOTS,
     make_arrivals_kernel,
-    make_jammer_kernel,
+    make_row_jammer_kernel,
 )
-from repro.sim.vector.protocols import make_protocol_kernel
+from repro.sim.vector.protocols import make_protocol_row_kernel
 from repro.sim.vector.rng import CoinBlocks, VectorStreams
-from repro.sim.vector.support import adversary_support, protocol_support
+from repro.sim.vector.support import (
+    adversary_support,
+    protocol_support,
+    scheduled_identity,
+)
 
 
 class _SlotRecorder:
@@ -86,6 +113,49 @@ class _SlotRecorder:
         self.num_senders[slot] = num_senders
 
 
+class _GroupConfig:
+    """One configuration replicated over seeds: a (mega-)batch building block."""
+
+    __slots__ = ("protocol", "arrival_process", "jammer", "seeds", "descriptions")
+
+    def __init__(
+        self,
+        protocol: BackoffProtocol,
+        arrival_process: ArrivalProcess,
+        jammer: Jammer,
+        seeds: list[int],
+        descriptions: list[dict[str, Any]],
+    ) -> None:
+        self.protocol = protocol
+        self.arrival_process = arrival_process
+        self.jammer = jammer
+        self.seeds = seeds
+        self.descriptions = descriptions
+
+
+class _Segment:
+    """One group's private execution geometry inside a (mega-)batch.
+
+    The segment owns everything whose *randomness consumption* depends on
+    the group rather than the whole batch: the arrival schedule kernel and
+    the packet coin blocks, whose block geometry is a function of the
+    group's replication count and capacity trajectory.  Keeping these per
+    segment is what makes a mega-batch bit-identical to running each group
+    in its own batch.
+    """
+
+    __slots__ = ("rows", "streams", "arrivals", "coins", "capacity", "exhausted", "live")
+
+    def __init__(self, rows: slice, streams: Any, arrivals: Any, capacity: int) -> None:
+        self.rows = rows
+        self.streams = streams
+        self.arrivals = arrivals
+        self.coins = CoinBlocks(streams, capacity)
+        self.capacity = capacity
+        self.exhausted = False
+        self.live = True
+
+
 class VectorSimulator:
     """Runs a batch of replications of one configuration in lockstep.
 
@@ -102,6 +172,9 @@ class VectorSimulator:
     config_descriptions:
         Optional per-replication ``config_description`` dicts to embed in
         the results (defaults to a description assembled from the parts).
+
+    Mega-batches are built through :meth:`from_spec_groups`, which stacks
+    several such configurations into one ragged lockstep batch.
     """
 
     def __init__(
@@ -124,20 +197,25 @@ class VectorSimulator:
             reason = adversary_support(CompositeAdversary(arrival_process, jammer))
         if reason is not None:
             raise ValueError(f"configuration cannot vectorize: {reason}")
-        self._protocol = protocol
-        self._arrival_process = arrival_process
-        self._jammer = jammer
-        self._seeds = [int(seed) for seed in seeds]
+        seed_list = [int(seed) for seed in seeds]
+        if config_descriptions is not None:
+            if len(config_descriptions) != len(seed_list):
+                raise ValueError("need one config description per seed")
+            descriptions = list(config_descriptions)
+        else:
+            descriptions = [
+                self._default_description(
+                    protocol, arrival_process, jammer, seed, max_slots, stop_when_drained
+                )
+                for seed in seed_list
+            ]
+        self._groups = [
+            _GroupConfig(protocol, arrival_process, jammer, seed_list, descriptions)
+        ]
         self._max_slots = max_slots
         self._stop_when_drained = stop_when_drained
-        if config_descriptions is not None:
-            if len(config_descriptions) != len(self._seeds):
-                raise ValueError("need one config description per seed")
-            self._descriptions = list(config_descriptions)
-        else:
-            self._descriptions = [
-                self._default_description(seed) for seed in self._seeds
-            ]
+
+    # -- Construction ---------------------------------------------------------
 
     @classmethod
     def from_specs(cls, specs: Sequence[Any]) -> "VectorSimulator":
@@ -146,6 +224,63 @@ class VectorSimulator:
         All specs must share everything but the seed (which is exactly what
         :meth:`~repro.exec.vector_backend.VectorBackend` groups by).
         """
+        group, max_slots, stop_when_drained = cls._group_from_specs(specs)
+        simulator = cls.__new__(cls)
+        simulator._groups = [group]
+        simulator._max_slots = max_slots
+        simulator._stop_when_drained = stop_when_drained
+        return simulator
+
+    @classmethod
+    def from_spec_groups(cls, spec_groups: Sequence[Sequence[Any]]) -> "VectorSimulator":
+        """Stack several spec groups into one ragged lockstep mega-batch.
+
+        Each inner sequence must be a valid :meth:`from_specs` group (one
+        configuration replicated over seeds); across groups the protocol,
+        arrival-process, and jammer classes must match exactly (parameters
+        may differ — they are promoted to per-row arrays), scheduled
+        components must be identical, and the engine options must agree.
+        Results come back in input order and are bit-identical to running
+        each group through its own :meth:`from_specs` batch.
+        """
+        if not spec_groups:
+            raise ValueError("at least one spec group is required")
+        built = [cls._group_from_specs(specs) for specs in spec_groups]
+        groups = [group for group, _, _ in built]
+        max_slots = built[0][1]
+        stop_when_drained = built[0][2]
+        first = groups[0]
+        for group, group_max_slots, group_stop in built[1:]:
+            if group_max_slots != max_slots or group_stop != stop_when_drained:
+                raise ValueError(
+                    "mega-batched groups must share max_slots and "
+                    "stop_when_drained"
+                )
+            for mine, theirs, label in (
+                (first.protocol, group.protocol, "protocol"),
+                (first.arrival_process, group.arrival_process, "arrival process"),
+                (first.jammer, group.jammer, "jammer"),
+            ):
+                if type(mine) is not type(theirs):
+                    raise ValueError(
+                        f"mega-batched groups must share one {label} class; "
+                        f"got {type(mine).__name__} and {type(theirs).__name__}"
+                    )
+                if scheduled_identity(mine) != scheduled_identity(theirs):
+                    raise ValueError(
+                        f"mega-batched groups with a scheduled {label} must "
+                        "share the schedule exactly"
+                    )
+        simulator = cls.__new__(cls)
+        simulator._groups = groups
+        simulator._max_slots = max_slots
+        simulator._stop_when_drained = stop_when_drained
+        return simulator
+
+    @classmethod
+    def _group_from_specs(
+        cls, specs: Sequence[Any]
+    ) -> tuple[_GroupConfig, int, bool]:
         if not specs:
             raise ValueError("at least one spec is required")
         configs = [spec.build_config() for spec in specs]
@@ -167,47 +302,90 @@ class VectorSimulator:
                     "specs must share the protocol, adversary, and engine "
                     "options, differing only in seed"
                 )
-        return cls(
+        reason = protocol_support(first.protocol)
+        if reason is None:
+            reason = adversary_support(adversary)
+        if reason is not None:
+            raise ValueError(f"configuration cannot vectorize: {reason}")
+        group = _GroupConfig(
             first.protocol,
             adversary.arrival_process,
             adversary.jammer,
             [config.seed for config in configs],
-            max_slots=first.max_slots,
-            stop_when_drained=first.stop_when_drained,
-            config_descriptions=[config.describe() for config in configs],
+            [config.describe() for config in configs],
         )
+        return group, first.max_slots, first.stop_when_drained
 
-    def _default_description(self, seed: int) -> dict[str, Any]:
-        adversary = CompositeAdversary(self._arrival_process, self._jammer)
+    @staticmethod
+    def _default_description(
+        protocol: BackoffProtocol,
+        arrival_process: ArrivalProcess,
+        jammer: Jammer,
+        seed: int,
+        max_slots: int,
+        stop_when_drained: bool,
+    ) -> dict[str, Any]:
+        adversary = CompositeAdversary(arrival_process, jammer)
         return {
-            "protocol": self._protocol.describe(),
+            "protocol": protocol.describe(),
             "adversary": adversary.describe(),
             "seed": seed,
-            "max_slots": self._max_slots,
-            "stop_when_drained": self._stop_when_drained,
+            "max_slots": max_slots,
+            "stop_when_drained": stop_when_drained,
             "collect_trace": False,
             "collect_potential": False,
         }
 
+    # -- Introspection --------------------------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        """How many configurations this batch stacks (1 unless mega-batched)."""
+        return len(self._groups)
+
+    @property
+    def _seeds(self) -> list[int]:
+        return [seed for group in self._groups for seed in group.seeds]
+
     # -- Execution -----------------------------------------------------------
 
     def run(self) -> list[SimulationResult]:
-        """Simulate every replication and return results in seed order."""
-        replications = len(self._seeds)
+        """Simulate every replication and return results in input order."""
+        groups = self._groups
         max_slots = self._max_slots
-        streams = VectorStreams(self._seeds)
-        arrivals = make_arrivals_kernel(self._arrival_process, replications)
-        jammer = make_jammer_kernel(self._jammer, replications)
+        stop_when_drained = self._stop_when_drained
+        seeds = self._seeds
+        replications = len(seeds)
+        streams = VectorStreams(seeds)
 
-        bound = arrivals.capacity_bound()
-        capacity = max(1, bound if bound is not None else 64)
-        kernel = make_protocol_kernel(self._protocol, replications, capacity)
-        coins = CoinBlocks(streams, capacity)
+        segments: list[_Segment] = []
+        start = 0
+        for group in groups:
+            stop = start + len(group.seeds)
+            view = streams.slice(start, stop)
+            arrivals = make_arrivals_kernel(group.arrival_process, len(group.seeds))
+            bound = arrivals.capacity_bound()
+            seg_capacity = max(1, bound if bound is not None else 64)
+            segments.append(_Segment(slice(start, stop), view, arrivals, seg_capacity))
+            start = stop
+        multi = len(segments) > 1
+        seg_starts = np.array([seg.rows.start for seg in segments], dtype=np.intp)
+
+        capacity = max(seg.capacity for seg in segments)
+        kernel = make_protocol_row_kernel(
+            [(group.protocol, len(group.seeds)) for group in groups], capacity
+        )
+        jammer = make_row_jammer_kernel(
+            [(group.jammer, len(group.seeds)) for group in groups]
+        )
+        sensing = kernel.sensing
+        track_listens = kernel.listens
 
         active = np.zeros((replications, capacity), dtype=bool)
         arrival_slot = np.full((replications, capacity), -1, dtype=np.int64)
         departure_slot = np.full((replications, capacity), -1, dtype=np.int64)
         sends = np.zeros((replications, capacity), dtype=np.int64)
+        listens = np.zeros((replications, capacity), dtype=np.int64) if track_listens else None
         cols = np.arange(capacity)
 
         injected = np.zeros(replications, dtype=np.int64)
@@ -216,13 +394,24 @@ class VectorSimulator:
         num_slots = np.full(replications, max_slots, dtype=np.int64)
         recorder = _SlotRecorder(replications)
 
-        stop_when_drained = self._stop_when_drained
+        # Per-replication arrival-exhaustion mask; monotone per segment, so
+        # each segment's (pure) exhausted() is queried only until it flips.
+        exhausted_rows = np.zeros(replications, dtype=bool)
+        any_exhausted = False
         live = replications
-        if stop_when_drained and arrivals.exhausted(0):
-            # Nothing will ever arrive: every replication drains at slot 0.
-            running[:] = False
-            num_slots[:] = 0
-            live = 0
+        if stop_when_drained:
+            for seg in segments:
+                if seg.arrivals.exhausted(0):
+                    # Nothing will ever arrive in this segment: all of its
+                    # replications drain at slot 0.
+                    seg.exhausted = True
+                    seg.live = False
+                    exhausted_rows[seg.rows] = True
+                    num_slots[seg.rows] = 0
+                    running[seg.rows] = False
+                    any_exhausted = True
+            if any_exhausted:
+                live = int(np.count_nonzero(running))
 
         chunk_start = 0
         chunk_end = 0
@@ -230,6 +419,8 @@ class VectorSimulator:
         slot_has_arrivals: list[bool] = []
         no_arrivals = np.zeros(replications, dtype=np.int64)
         send_buffer = np.empty((replications, capacity), dtype=bool)
+        listen_buffer = np.empty((replications, capacity), dtype=bool) if sensing else None
+        coin_buffer = np.empty((replications, capacity), dtype=np.float64) if multi else None
         never_jams = jammer.never_jams
 
         slot = 0
@@ -238,33 +429,76 @@ class VectorSimulator:
                 chunk_start = slot
                 chunk_end = min(slot + CHUNK_SLOTS, max_slots)
                 count = chunk_end - chunk_start
-                arrivals_chunk = arrivals.chunk(chunk_start, count, streams)
+                if multi:
+                    arrivals_chunk = np.zeros((replications, count), dtype=np.int64)
+                    for seg in segments:
+                        if seg.live:
+                            arrivals_chunk[seg.rows] = seg.arrivals.chunk(
+                                chunk_start, count, seg.streams
+                            )
+                else:
+                    arrivals_chunk = segments[0].arrivals.chunk(
+                        chunk_start, count, segments[0].streams
+                    )
                 slot_has_arrivals = arrivals_chunk.any(axis=0).tolist()
-                jammer.begin_chunk(chunk_start, count, streams)
+                jammer.begin_chunk(chunk_start, count, streams, running)
             assert arrivals_chunk is not None
 
             backlog_pre = backlog
             if slot_has_arrivals[slot - chunk_start]:
                 arriving = arrivals_chunk[:, slot - chunk_start] * running
                 total_after = injected + arriving
-                needed = int(total_after.max())
-                if needed > capacity:
-                    capacity = max(needed, capacity * 2)
-                    grown = (
-                        np.zeros((replications, capacity), dtype=bool),
-                        np.full((replications, capacity), -1, dtype=np.int64),
-                        np.full((replications, capacity), -1, dtype=np.int64),
-                        np.zeros((replications, capacity), dtype=np.int64),
-                    )
-                    for old, new in zip(
-                        (active, arrival_slot, departure_slot, sends), grown
-                    ):
-                        new[:, : old.shape[1]] = old
-                    active, arrival_slot, departure_slot, sends = grown
-                    cols = np.arange(capacity)
-                    kernel.grow(capacity)
-                    coins.resize(capacity)
-                    send_buffer = np.empty((replications, capacity), dtype=bool)
+                grew = False
+                if multi:
+                    needed_per_seg = np.maximum.reduceat(total_after, seg_starts)
+                    for index, seg in enumerate(segments):
+                        needed = int(needed_per_seg[index])
+                        if needed > seg.capacity:
+                            # Each segment grows on its own trajectory — the
+                            # same doubling a standalone batch of this group
+                            # would apply — keeping its coin geometry intact.
+                            seg.capacity = max(needed, seg.capacity * 2)
+                            seg.coins.resize(seg.capacity)
+                            grew = True
+                else:
+                    seg = segments[0]
+                    needed = int(total_after.max())
+                    if needed > seg.capacity:
+                        seg.capacity = max(needed, seg.capacity * 2)
+                        seg.coins.resize(seg.capacity)
+                        grew = True
+                if grew:
+                    new_capacity = max(seg.capacity for seg in segments)
+                    if new_capacity > capacity:
+                        capacity = new_capacity
+                        grown = (
+                            np.zeros((replications, capacity), dtype=bool),
+                            np.full((replications, capacity), -1, dtype=np.int64),
+                            np.full((replications, capacity), -1, dtype=np.int64),
+                            np.zeros((replications, capacity), dtype=np.int64),
+                        )
+                        for old, new in zip(
+                            (active, arrival_slot, departure_slot, sends), grown
+                        ):
+                            new[:, : old.shape[1]] = old
+                        active, arrival_slot, departure_slot, sends = grown
+                        if listens is not None:
+                            grown_listens = np.zeros(
+                                (replications, capacity), dtype=np.int64
+                            )
+                            grown_listens[:, : listens.shape[1]] = listens
+                            listens = grown_listens
+                        cols = np.arange(capacity)
+                        kernel.grow(capacity)
+                        send_buffer = np.empty((replications, capacity), dtype=bool)
+                        if sensing:
+                            listen_buffer = np.empty(
+                                (replications, capacity), dtype=bool
+                            )
+                        if multi:
+                            coin_buffer = np.empty(
+                                (replications, capacity), dtype=np.float64
+                            )
                 newly = (cols >= injected[:, None]) & (cols < total_after[:, None])
                 active |= newly
                 arrival_slot[newly] = slot
@@ -277,10 +511,27 @@ class VectorSimulator:
             active_before = backlog
             jammed = jammer.jam(slot, backlog_pre, running)
 
-            send = np.less(
-                coins.coins(slot, running), kernel.probabilities, out=send_buffer
-            )
-            send &= active
+            if multi:
+                coins = coin_buffer
+                assert coins is not None
+                for seg in segments:
+                    if seg.live:
+                        coins[seg.rows, : seg.capacity] = seg.coins.coins(
+                            slot, running[seg.rows]
+                        )
+            else:
+                coins = segments[0].coins.coins(slot, running)
+
+            if sensing:
+                assert listen_buffer is not None
+                kernel.decide(coins, send_buffer, listen_buffer)
+                send = send_buffer
+                send &= active
+                listen = listen_buffer
+                listen &= active
+            else:
+                send = np.less(coins, kernel.probabilities, out=send_buffer)
+                send &= active
             num_senders = np.count_nonzero(send, axis=1)
             total_senders = int(num_senders.sum())
             if never_jams:
@@ -288,6 +539,8 @@ class VectorSimulator:
             else:
                 winners = running & ~jammed & (num_senders == 1)
             sends += send
+            if listens is not None:
+                listens += listen
 
             winner_rows = np.nonzero(winners)[0]
             if winner_rows.size:
@@ -296,7 +549,18 @@ class VectorSimulator:
                 departure_slot[winner_rows, winner_cols] = slot
                 # The remaining senders are the losers of the slot.
                 send[winner_rows, winner_cols] = False
-            if total_senders > winner_rows.size:
+            if sensing:
+                # Per-replication ternary feedback: what every accessor of
+                # that replication's channel heard this slot.  Winners are
+                # already removed (they depart without a state update).
+                if never_jams:
+                    empty_rows = num_senders == 0
+                    noise_rows = num_senders > 1
+                else:
+                    empty_rows = ~jammed & (num_senders == 0)
+                    noise_rows = jammed | (num_senders > 1)
+                kernel.on_feedback(empty_rows, noise_rows, send, listen, active)
+            elif total_senders > winner_rows.size:
                 kernel.on_unsuccessful_send(send)
             backlog = backlog - winners
 
@@ -310,16 +574,26 @@ class VectorSimulator:
             )
 
             slot += 1
-            if stop_when_drained and arrivals.exhausted(slot):
-                finished = running & (backlog == 0)
-                if finished.any():
-                    num_slots[finished] = slot
-                    running &= ~finished
-                    live = int(np.count_nonzero(running))
+            if stop_when_drained:
+                for seg in segments:
+                    if seg.live and not seg.exhausted and seg.arrivals.exhausted(slot):
+                        seg.exhausted = True
+                        exhausted_rows[seg.rows] = True
+                        any_exhausted = True
+                if any_exhausted:
+                    finished = running & exhausted_rows & (backlog == 0)
+                    if finished.any():
+                        num_slots[finished] = slot
+                        running &= ~finished
+                        live = int(np.count_nonzero(running))
+                        if multi:
+                            for seg in segments:
+                                if seg.live and not running[seg.rows].any():
+                                    seg.live = False
 
         return self._finalize(
-            recorder, num_slots, backlog, arrivals, injected,
-            arrival_slot, departure_slot, sends,
+            recorder, num_slots, backlog, segments, injected,
+            arrival_slot, departure_slot, sends, listens,
         )
 
     # -- Finalisation --------------------------------------------------------
@@ -329,62 +603,80 @@ class VectorSimulator:
         recorder: _SlotRecorder,
         num_slots: np.ndarray,
         backlog: np.ndarray,
-        arrivals: Any,
+        segments: list[_Segment],
         injected: np.ndarray,
         arrival_slot: np.ndarray,
         departure_slot: np.ndarray,
         sends: np.ndarray,
+        listens: np.ndarray | None,
     ) -> list[SimulationResult]:
+        descriptions = [
+            description for group in self._groups for description in group.descriptions
+        ]
+        protocol_names = [
+            group.protocol.name for group in self._groups for _ in group.seeds
+        ]
+        seeds = self._seeds
         results = []
-        for index, seed in enumerate(self._seeds):
-            slots = int(num_slots[index])
-            outcome = recorder.outcome[:slots, index]
-            jammed = recorder.jammed[:slots, index]
-            arriving = recorder.arrivals[:slots, index]
-            active_before = recorder.active_before[:slots, index]
-            active_after = recorder.active_after[:slots, index]
-            num_senders = recorder.num_senders[:slots, index]
-            was_active = active_before > 0
+        for seg in segments:
+            for index in range(seg.rows.start, seg.rows.stop):
+                slots = int(num_slots[index])
+                outcome = recorder.outcome[:slots, index]
+                jammed = recorder.jammed[:slots, index]
+                arriving = recorder.arrivals[:slots, index]
+                active_before = recorder.active_before[:slots, index]
+                active_after = recorder.active_after[:slots, index]
+                num_senders = recorder.num_senders[:slots, index]
+                was_active = active_before > 0
 
-            collector = MetricsCollector(collect_series=True)
-            collector.num_slots = slots
-            collector.num_arrivals = int(arriving.sum())
-            collector.num_successes = int((outcome == 1).sum())
-            collector.num_collisions = int((outcome == 2).sum())
-            collector.num_empty_active = int(((outcome == 0) & was_active).sum())
-            collector.num_jammed = int(jammed.sum())
-            collector.num_jammed_active = int((jammed & was_active).sum())
-            collector.num_active_slots = int(was_active.sum())
-            collector.total_sends = int(num_senders.sum())
-            collector.total_listens = 0
-            collector.backlog_series = active_after.tolist()
-            collector.cumulative_arrivals = np.cumsum(arriving).tolist()
-            collector.cumulative_successes = np.cumsum(outcome == 1).tolist()
-            collector.cumulative_jammed_active = np.cumsum(jammed & was_active).tolist()
-            collector.cumulative_active_slots = np.cumsum(was_active).tolist()
+                collector = MetricsCollector(collect_series=True)
+                collector.num_slots = slots
+                collector.num_arrivals = int(arriving.sum())
+                collector.num_successes = int((outcome == 1).sum())
+                collector.num_collisions = int((outcome == 2).sum())
+                collector.num_empty_active = int(((outcome == 0) & was_active).sum())
+                collector.num_jammed = int(jammed.sum())
+                collector.num_jammed_active = int((jammed & was_active).sum())
+                collector.num_active_slots = int(was_active.sum())
+                collector.total_sends = int(num_senders.sum())
+                collector.total_listens = (
+                    int(listens[index].sum()) if listens is not None else 0
+                )
+                collector.backlog_series = active_after.tolist()
+                collector.cumulative_arrivals = np.cumsum(arriving).tolist()
+                collector.cumulative_successes = np.cumsum(outcome == 1).tolist()
+                collector.cumulative_jammed_active = np.cumsum(
+                    jammed & was_active
+                ).tolist()
+                collector.cumulative_active_slots = np.cumsum(was_active).tolist()
 
-            packets = []
-            for packet_id in range(int(injected[index])):
-                departed_at = int(departure_slot[index, packet_id])
-                packets.append(
-                    PacketRecord(
-                        packet_id=packet_id,
-                        arrival_slot=int(arrival_slot[index, packet_id]),
-                        departure_slot=None if departed_at < 0 else departed_at,
-                        sends=int(sends[index, packet_id]),
-                        listens=0,
+                packets = []
+                for packet_id in range(int(injected[index])):
+                    departed_at = int(departure_slot[index, packet_id])
+                    packets.append(
+                        PacketRecord(
+                            packet_id=packet_id,
+                            arrival_slot=int(arrival_slot[index, packet_id]),
+                            departure_slot=None if departed_at < 0 else departed_at,
+                            sends=int(sends[index, packet_id]),
+                            listens=(
+                                int(listens[index, packet_id])
+                                if listens is not None
+                                else 0
+                            ),
+                        )
+                    )
+
+                results.append(
+                    SimulationResult(
+                        config_description=descriptions[index],
+                        protocol_name=protocol_names[index],
+                        seed=seeds[index],
+                        num_slots=slots,
+                        drained=bool(backlog[index] == 0)
+                        and seg.arrivals.exhausted(slots),
+                        collector=collector,
+                        packets=packets,
                     )
                 )
-
-            results.append(
-                SimulationResult(
-                    config_description=self._descriptions[index],
-                    protocol_name=self._protocol.name,
-                    seed=seed,
-                    num_slots=slots,
-                    drained=bool(backlog[index] == 0) and arrivals.exhausted(slots),
-                    collector=collector,
-                    packets=packets,
-                )
-            )
         return results

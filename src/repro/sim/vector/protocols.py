@@ -1,33 +1,99 @@
 """Batched protocol kernels.
 
 A kernel holds the protocol state of *every* packet of *every* replication
-in ``(replications × packets)`` arrays and exposes the two operations the
-vector engine needs per slot:
+in ``(replications × packets)`` arrays.  Two slot interfaces exist:
 
-* ``probabilities`` — the current per-packet sending probability matrix
-  (maintained incrementally, so a slot touches only the cells that changed);
-* ``on_unsuccessful_send`` — the ternary-feedback update for packets that
-  sent and did not succeed (collision or jammed slot), which is the *only*
-  feedback any send-only protocol reacts to.
+* **send-only kernels** (``sensing = False``) expose ``probabilities`` — the
+  per-packet sending probability matrix, maintained incrementally — and
+  ``on_unsuccessful_send``, the only feedback a send-only protocol reacts
+  to;
+* **sensing kernels** (``sensing = True``) expose ``decide``, which turns
+  one uniform coin matrix into disjoint send/listen masks, and
+  ``on_feedback``, which consumes the engine's per-replication ternary
+  feedback arrays (idle / success / noise rows) exactly the way the scalar
+  protocol's ``observe`` consumes its :class:`FeedbackReport`.
 
-All supported protocols are send-only (they never listen), which the engine
-relies on when it skips listener accounting entirely.
+The scalar sensing protocols draw *two* coins per access decision (listen
+first, then send-given-access); the kernels collapse each trichotomy onto a
+single uniform — ``u < T_send`` sends, ``T_send ≤ u < T_access`` listens,
+the rest sleeps — which is the same joint distribution with half the
+randomness.  Vector results are therefore statistically (not bitwise)
+equivalent to scalar results, which is already the vector engine's
+contract.
+
+Every kernel is built from a list of ``(protocol, replications)`` pairs so
+that a mega-batch can stack configurations that share a kernel family but
+differ in parameters: parameters are promoted to per-row columns.  All
+per-cell state updates are elementwise, so the values a row's cells take
+are bit-identical whether the row runs in its own batch or inside a larger
+stacked batch — the property mega-batching relies on.
 """
 
 from __future__ import annotations
 
 import abc
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.core.low_sensing import DecoupledLowSensingBackoff, LowSensingBackoff
 from repro.protocols.base import BackoffProtocol
 from repro.protocols.binary_exponential import BinaryExponentialBackoff
 from repro.protocols.fixed_probability import FixedProbabilityProtocol
+from repro.protocols.mw_full_sensing import FullSensingMultiplicativeWeights
 from repro.protocols.polynomial_backoff import PolynomialBackoff
+from repro.protocols.sawtooth import SawtoothBackoff
+
+#: One kernel-family slice of a (mega-)batch: a protocol instance and the
+#: number of consecutive replication rows it governs.
+ProtocolRows = Sequence[tuple[BackoffProtocol, int]]
+
+
+def _rows(pairs: ProtocolRows) -> int:
+    return sum(count for _, count in pairs)
+
+
+def _param_column(
+    pairs: ProtocolRows, getter: Callable[[Any], float], none_as: float | None = None
+) -> float | np.ndarray:
+    """Promote a per-protocol parameter to a per-row column.
+
+    Returns a plain float when the parameter is uniform across all rows (the
+    single-group case, and the common mega case) so the kernels keep their
+    scalar fast paths; otherwise a read-only ``(R, 1)`` float column that
+    broadcasts against the ``(R, P)`` state matrices.  Elementwise numpy
+    arithmetic yields bit-identical cell values either way.
+    """
+    values = []
+    for protocol, _ in pairs:
+        value = getter(protocol)
+        values.append(none_as if value is None else float(value))
+    if all(value == values[0] for value in values):
+        return values[0]
+    column = np.repeat(
+        np.asarray(values, dtype=np.float64), [count for _, count in pairs]
+    )[:, None]
+    column.setflags(write=False)
+    return column
+
+
+def _cells(param: float | np.ndarray, mask: np.ndarray) -> float | np.ndarray:
+    """The parameter's value at each True cell of ``mask`` (scalar or 1-D)."""
+    if isinstance(param, np.ndarray):
+        return np.broadcast_to(param, mask.shape)[mask]
+    return param
 
 
 class VectorProtocolKernel(abc.ABC):
     """Lockstep protocol state for one batch."""
+
+    #: True for kernels that consume the per-replication feedback arrays
+    #: (``on_feedback``) instead of the send-only ``on_unsuccessful_send``.
+    sensing = False
+
+    #: True when ``decide`` can mark packets as listeners (the engine then
+    #: maintains per-packet listen counters; send-only kernels skip them).
+    listens = False
 
     def __init__(self, replications: int, capacity: int) -> None:
         self.replications = replications
@@ -41,23 +107,60 @@ class VectorProtocolKernel(abc.ABC):
     def init_packets(self, newly: np.ndarray) -> None:
         """Initialise state for freshly injected packets (boolean mask)."""
 
+    # -- Send-only interface -------------------------------------------------
+
     @property
-    @abc.abstractmethod
     def probabilities(self) -> np.ndarray | float:
         """Per-packet sending probabilities (matrix, or a scalar broadcast)."""
+        raise NotImplementedError
 
     def on_unsuccessful_send(self, losers: np.ndarray) -> None:
         """Feedback update for packets that sent and did not succeed."""
+
+    # -- Sensing interface ---------------------------------------------------
+
+    def decide(
+        self, coins: np.ndarray, send_out: np.ndarray, listen_out: np.ndarray
+    ) -> None:
+        """Fill disjoint raw send/listen masks from one uniform coin matrix.
+
+        The engine masks both outputs by the active-packet matrix afterwards,
+        so kernels need not care about inactive cells.
+        """
+        raise NotImplementedError
+
+    def on_feedback(
+        self,
+        empty_rows: np.ndarray,
+        noise_rows: np.ndarray,
+        send: np.ndarray,
+        listen: np.ndarray,
+        active: np.ndarray,
+    ) -> None:
+        """Consume one slot's per-replication ternary feedback.
+
+        ``empty_rows`` / ``noise_rows`` are ``(R,)`` masks of replications
+        whose channel was idle / noisy this slot (the success rows are the
+        remainder); ``send`` is the sender matrix with this slot's winners
+        already removed (winners depart without a state update, exactly as
+        the scalar engine's ``observe``-then-depart order produces), and
+        ``listen``/``active`` are the listener and post-departure active
+        matrices.
+        """
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Send-only kernels
+# ---------------------------------------------------------------------------
 
 
 class FixedProbabilityKernel(VectorProtocolKernel):
     """Constant sending probability; feedback never changes it."""
 
-    def __init__(
-        self, protocol: FixedProbabilityProtocol, replications: int, capacity: int
-    ) -> None:
-        super().__init__(replications, capacity)
-        self._probability = float(protocol.probability)
+    def __init__(self, pairs: ProtocolRows, capacity: int) -> None:
+        super().__init__(_rows(pairs), capacity)
+        self._probability = _param_column(pairs, lambda p: p.probability)
 
     def grow(self, capacity: int) -> None:
         self.capacity = capacity
@@ -66,49 +169,54 @@ class FixedProbabilityKernel(VectorProtocolKernel):
         return None
 
     @property
-    def probabilities(self) -> float:
+    def probabilities(self) -> float | np.ndarray:
         return self._probability
 
 
 class BinaryExponentialKernel(VectorProtocolKernel):
     """Window per packet; doubles (up to a cap) on every unsuccessful send."""
 
-    def __init__(
-        self, protocol: BinaryExponentialBackoff, replications: int, capacity: int
-    ) -> None:
-        super().__init__(replications, capacity)
-        self._initial_window = float(protocol.initial_window)
-        self._backoff_factor = float(protocol.backoff_factor)
-        self._max_window = protocol.max_window
-        self._window = np.full((replications, capacity), self._initial_window)
-        self._inverse = np.full((replications, capacity), 1.0 / self._initial_window)
+    def __init__(self, pairs: ProtocolRows, capacity: int) -> None:
+        super().__init__(_rows(pairs), capacity)
+        self._initial_window = _param_column(pairs, lambda p: p.initial_window)
+        self._backoff_factor = _param_column(pairs, lambda p: p.backoff_factor)
+        # ``None`` (uncapped) promotes to +inf: min(w, inf) == w bitwise.
+        self._max_window = _param_column(
+            pairs, lambda p: p.max_window, none_as=np.inf
+        )
+        shape = (self.replications, capacity)
+        self._window = np.empty(shape)
+        self._window[:] = self._initial_window
+        self._inverse = np.reciprocal(self._window)
 
     def grow(self, capacity: int) -> None:
         extra = capacity - self.capacity
         if extra <= 0:
             return
-        self._window = np.concatenate(
-            [self._window, np.full((self.replications, extra), self._initial_window)],
-            axis=1,
-        )
+        fresh = np.empty((self.replications, extra))
+        fresh[:] = self._initial_window
+        self._window = np.concatenate([self._window, fresh], axis=1)
         self._inverse = np.concatenate(
-            [self._inverse, np.full((self.replications, extra), 1.0 / self._initial_window)],
-            axis=1,
+            [self._inverse, np.reciprocal(fresh)], axis=1
         )
         self.capacity = capacity
 
     def init_packets(self, newly: np.ndarray) -> None:
-        self._window[newly] = self._initial_window
-        self._inverse[newly] = 1.0 / self._initial_window
+        initial = _cells(self._initial_window, newly)
+        self._window[newly] = initial
+        self._inverse[newly] = 1.0 / initial
 
     @property
     def probabilities(self) -> np.ndarray:
         return self._inverse
 
     def on_unsuccessful_send(self, losers: np.ndarray) -> None:
-        grown = self._window[losers] * self._backoff_factor
-        if self._max_window is not None:
-            np.minimum(grown, self._max_window, out=grown)
+        grown = self._window[losers] * _cells(self._backoff_factor, losers)
+        cap = self._max_window
+        if isinstance(cap, np.ndarray):
+            grown = np.minimum(grown, _cells(cap, losers))
+        elif cap != np.inf:
+            np.minimum(grown, cap, out=grown)
         self._window[losers] = grown
         self._inverse[losers] = 1.0 / grown
 
@@ -116,14 +224,14 @@ class BinaryExponentialKernel(VectorProtocolKernel):
 class PolynomialKernel(VectorProtocolKernel):
     """Collision count per packet; window is ``w0 * (collisions+1)**degree``."""
 
-    def __init__(
-        self, protocol: PolynomialBackoff, replications: int, capacity: int
-    ) -> None:
-        super().__init__(replications, capacity)
-        self._initial_window = float(protocol.initial_window)
-        self._degree = float(protocol.degree)
-        self._collisions = np.zeros((replications, capacity), dtype=np.int64)
-        self._inverse = np.full((replications, capacity), 1.0 / self._initial_window)
+    def __init__(self, pairs: ProtocolRows, capacity: int) -> None:
+        super().__init__(_rows(pairs), capacity)
+        self._initial_window = _param_column(pairs, lambda p: p.initial_window)
+        self._degree = _param_column(pairs, lambda p: p.degree)
+        shape = (self.replications, capacity)
+        self._collisions = np.zeros(shape, dtype=np.int64)
+        self._inverse = np.empty(shape)
+        self._inverse[:] = 1.0 / self._initial_window
 
     def grow(self, capacity: int) -> None:
         extra = capacity - self.capacity
@@ -133,15 +241,14 @@ class PolynomialKernel(VectorProtocolKernel):
             [self._collisions, np.zeros((self.replications, extra), dtype=np.int64)],
             axis=1,
         )
-        self._inverse = np.concatenate(
-            [self._inverse, np.full((self.replications, extra), 1.0 / self._initial_window)],
-            axis=1,
-        )
+        fresh = np.empty((self.replications, extra))
+        fresh[:] = 1.0 / self._initial_window
+        self._inverse = np.concatenate([self._inverse, fresh], axis=1)
         self.capacity = capacity
 
     def init_packets(self, newly: np.ndarray) -> None:
         self._collisions[newly] = 0
-        self._inverse[newly] = 1.0 / self._initial_window
+        self._inverse[newly] = 1.0 / _cells(self._initial_window, newly)
 
     @property
     def probabilities(self) -> np.ndarray:
@@ -151,18 +258,307 @@ class PolynomialKernel(VectorProtocolKernel):
         bumped = self._collisions[losers] + 1
         self._collisions[losers] = bumped
         self._inverse[losers] = 1.0 / (
-            self._initial_window * (bumped + 1.0) ** self._degree
+            _cells(self._initial_window, losers)
+            * (bumped + 1.0) ** _cells(self._degree, losers)
         )
+
+
+class SawtoothKernel(VectorProtocolKernel):
+    """Truncated sawtooth: deterministic per-slot clock, no channel feedback.
+
+    Sawtooth never listens, but unlike the send-only kernels its state
+    advances on *every* slot a packet is active (including sleeping slots),
+    so it runs on the sensing slot path where the engine hands over the full
+    active matrix each slot.
+    """
+
+    sensing = True
+    listens = False
+
+    def __init__(self, pairs: ProtocolRows, capacity: int) -> None:
+        super().__init__(_rows(pairs), capacity)
+        # The scalar state clamps the starting phase at 2.0; the protocol
+        # validates initial_window >= 2, so the clamp is a no-op kept for
+        # parity with SawtoothPacketState.
+        self._initial_window = _param_column(
+            pairs, lambda p: max(2.0, float(p.initial_window))
+        )
+        shape = (self.replications, capacity)
+        self._phase = np.empty(shape)
+        self._phase[:] = self._initial_window
+        self._window = self._phase.copy()
+        self._count = np.zeros(shape, dtype=np.int64)
+        self._inverse = np.reciprocal(self._window)
+
+    def grow(self, capacity: int) -> None:
+        extra = capacity - self.capacity
+        if extra <= 0:
+            return
+        fresh = np.empty((self.replications, extra))
+        fresh[:] = self._initial_window
+        self._phase = np.concatenate([self._phase, fresh], axis=1)
+        self._window = np.concatenate([self._window, fresh.copy()], axis=1)
+        self._count = np.concatenate(
+            [self._count, np.zeros((self.replications, extra), dtype=np.int64)], axis=1
+        )
+        self._inverse = np.concatenate(
+            [self._inverse, np.reciprocal(fresh)], axis=1
+        )
+        self.capacity = capacity
+
+    def init_packets(self, newly: np.ndarray) -> None:
+        initial = _cells(self._initial_window, newly)
+        self._phase[newly] = initial
+        self._window[newly] = initial
+        self._count[newly] = 0
+        self._inverse[newly] = 1.0 / initial
+
+    def decide(
+        self, coins: np.ndarray, send_out: np.ndarray, listen_out: np.ndarray
+    ) -> None:
+        np.less(coins, self._inverse, out=send_out)
+        listen_out[:] = False
+
+    def on_feedback(
+        self,
+        empty_rows: np.ndarray,
+        noise_rows: np.ndarray,
+        send: np.ndarray,
+        listen: np.ndarray,
+        active: np.ndarray,
+    ) -> None:
+        # Every active packet that did not just succeed spends one slot at
+        # its current window, regardless of what the channel carried.
+        count = self._count
+        np.add(count, 1, out=count, where=active)
+        due = active & (count >= self._window)
+        if not due.any():
+            return
+        count[due] = 0
+        window = self._window[due] / 2.0
+        phase = self._phase[due]
+        ended = window < 2.0
+        if ended.any():
+            phase = np.where(ended, phase * 2.0, phase)
+            window = np.where(ended, phase, window)
+            self._phase[due] = phase
+        self._window[due] = window
+        self._inverse[due] = 1.0 / window
+
+
+class FullSensingMWKernel(VectorProtocolKernel):
+    """Multiplicative-weights probability per packet; listens every slot."""
+
+    sensing = True
+    listens = True
+
+    def __init__(self, pairs: ProtocolRows, capacity: int) -> None:
+        super().__init__(_rows(pairs), capacity)
+        self._initial = _param_column(pairs, lambda p: p.initial_probability)
+        self._increase = _param_column(pairs, lambda p: p.increase)
+        self._decrease = _param_column(pairs, lambda p: p.decrease)
+        self._p_min = _param_column(pairs, lambda p: p.p_min)
+        self._p_max = _param_column(pairs, lambda p: p.p_max)
+        shape = (self.replications, capacity)
+        self._probability = np.empty(shape)
+        self._probability[:] = self._initial
+
+    def grow(self, capacity: int) -> None:
+        extra = capacity - self.capacity
+        if extra <= 0:
+            return
+        fresh = np.empty((self.replications, extra))
+        fresh[:] = self._initial
+        self._probability = np.concatenate([self._probability, fresh], axis=1)
+        self.capacity = capacity
+
+    def init_packets(self, newly: np.ndarray) -> None:
+        self._probability[newly] = _cells(self._initial, newly)
+
+    def decide(
+        self, coins: np.ndarray, send_out: np.ndarray, listen_out: np.ndarray
+    ) -> None:
+        np.less(coins, self._probability, out=send_out)
+        np.logical_not(send_out, out=listen_out)
+
+    def on_feedback(
+        self,
+        empty_rows: np.ndarray,
+        noise_rows: np.ndarray,
+        send: np.ndarray,
+        listen: np.ndarray,
+        active: np.ndarray,
+    ) -> None:
+        probability = self._probability
+        if empty_rows.any():
+            mask = (send | listen) & empty_rows[:, None]
+            if mask.any():
+                probability[mask] = np.minimum(
+                    probability[mask] * _cells(self._increase, mask),
+                    _cells(self._p_max, mask),
+                )
+        if noise_rows.any():
+            mask = (send | listen) & noise_rows[:, None]
+            if mask.any():
+                probability[mask] = np.maximum(
+                    probability[mask] / _cells(self._decrease, mask),
+                    _cells(self._p_min, mask),
+                )
+        # SUCCESS heard from another packet: no change.
+
+
+class LowSensingKernel(VectorProtocolKernel):
+    """LOW-SENSING BACKOFF: window per packet, updated from ternary feedback.
+
+    The send/listen thresholds are maintained incrementally (they involve
+    logarithms, so only the cells whose window changed are recomputed) —
+    the same optimisation :class:`LowSensingPacketState` applies per packet.
+    ``decoupled=True`` gives the A1 ablation variant, whose thresholds come
+    from independent send/listen coins: ``T_send = s`` and
+    ``T_listen = s + (1 − s)·a`` instead of ``a·s`` and ``a``.
+    """
+
+    sensing = True
+    listens = True
+
+    def __init__(
+        self, pairs: ProtocolRows, capacity: int, *, decoupled: bool = False
+    ) -> None:
+        super().__init__(_rows(pairs), capacity)
+        self._decoupled = decoupled
+        self._c = _param_column(pairs, lambda p: p.params.c)
+        self._w_min = _param_column(pairs, lambda p: p.params.w_min)
+        shape = (self.replications, capacity)
+        self._window = np.empty(shape)
+        self._window[:] = self._w_min
+        self._send_threshold = np.empty(shape)
+        self._listen_threshold = np.empty(shape)
+        full = np.ones(shape, dtype=bool)
+        self._set_thresholds(full)
+
+    def _set_thresholds(self, mask: np.ndarray) -> None:
+        """Recompute both thresholds at each True cell of ``mask``."""
+        window = self._window[mask]
+        c = _cells(self._c, mask)
+        log_cubed = np.log(window) ** 3
+        access = np.minimum(1.0, c * log_cubed / window)
+        send_given_access = np.minimum(1.0, 1.0 / (c * log_cubed))
+        send = access * send_given_access
+        if self._decoupled:
+            self._send_threshold[mask] = send
+            self._listen_threshold[mask] = send + (1.0 - send) * access
+        else:
+            self._send_threshold[mask] = send
+            self._listen_threshold[mask] = access
+
+    def grow(self, capacity: int) -> None:
+        extra = capacity - self.capacity
+        if extra <= 0:
+            return
+        shape = (self.replications, extra)
+        for name in ("_window", "_send_threshold", "_listen_threshold"):
+            setattr(
+                self,
+                name,
+                np.concatenate([getattr(self, name), np.empty(shape)], axis=1),
+            )
+        self._window[:, self.capacity :] = self._w_min
+        grown = np.zeros((self.replications, capacity), dtype=bool)
+        grown[:, self.capacity :] = True
+        self.capacity = capacity
+        self._set_thresholds(grown)
+
+    def init_packets(self, newly: np.ndarray) -> None:
+        self._window[newly] = _cells(self._w_min, newly)
+        self._set_thresholds(newly)
+
+    def decide(
+        self, coins: np.ndarray, send_out: np.ndarray, listen_out: np.ndarray
+    ) -> None:
+        np.less(coins, self._send_threshold, out=send_out)
+        np.less(coins, self._listen_threshold, out=listen_out)
+        # T_send <= T_listen, so the senders are a subset: xor leaves the
+        # listen-only cells.
+        np.logical_xor(listen_out, send_out, out=listen_out)
+
+    def _update_windows(self, mask: np.ndarray, *, backon: bool) -> None:
+        window = self._window[mask]
+        c = _cells(self._c, mask)
+        factor = 1.0 + 1.0 / (c * np.log(window))
+        if backon:
+            window = np.maximum(window / factor, _cells(self._w_min, mask))
+        else:
+            window = window * factor
+        self._window[mask] = window
+        self._set_thresholds(mask)
+
+    def on_feedback(
+        self,
+        empty_rows: np.ndarray,
+        noise_rows: np.ndarray,
+        send: np.ndarray,
+        listen: np.ndarray,
+        active: np.ndarray,
+    ) -> None:
+        # Only packets that accessed the channel learn anything; a slot's
+        # surviving senders are exactly the accessors in noise rows (a lone
+        # unjammed sender wins and departs), and listeners hear whatever
+        # the row's feedback was.  SUCCESS rows leave windows unchanged.
+        if empty_rows.any():
+            mask = listen & empty_rows[:, None]
+            if mask.any():
+                self._update_windows(mask, backon=True)
+        if noise_rows.any():
+            mask = (send | listen) & noise_rows[:, None]
+            if mask.any():
+                self._update_windows(mask, backon=False)
+
+
+# ---------------------------------------------------------------------------
+# Factories
+# ---------------------------------------------------------------------------
+
+
+def make_protocol_row_kernel(
+    pairs: ProtocolRows, capacity: int
+) -> VectorProtocolKernel:
+    """Build one kernel covering every ``(protocol, rows)`` pair in order.
+
+    All pairs must share one exact protocol type (the mega-batch
+    compatibility rule); parameters may differ and are promoted to per-row
+    columns.
+    """
+    if not pairs:
+        raise ValueError("at least one protocol row block is required")
+    kinds = {type(protocol) for protocol, _ in pairs}
+    if len(kinds) > 1:
+        names = ", ".join(sorted(kind.__name__ for kind in kinds))
+        raise TypeError(f"cannot stack different protocol types: {names}")
+    protocol = pairs[0][0]
+    # Exact-type dispatch, mirroring the support registry: a subclass must
+    # not silently inherit a kernel that may no longer describe it.
+    kind = type(protocol)
+    if kind is BinaryExponentialBackoff:
+        return BinaryExponentialKernel(pairs, capacity)
+    if kind is PolynomialBackoff:
+        return PolynomialKernel(pairs, capacity)
+    if kind is SawtoothBackoff:
+        return SawtoothKernel(pairs, capacity)
+    if kind is FullSensingMultiplicativeWeights:
+        return FullSensingMWKernel(pairs, capacity)
+    if kind is LowSensingBackoff:
+        return LowSensingKernel(pairs, capacity)
+    if kind is DecoupledLowSensingBackoff:
+        return LowSensingKernel(pairs, capacity, decoupled=True)
+    if isinstance(protocol, FixedProbabilityProtocol):
+        # FixedProbability and its SlottedAloha alias share one kernel (the
+        # subclass only pins the default probability).
+        return FixedProbabilityKernel(pairs, capacity)
+    raise TypeError(f"no vector kernel for protocol {kind.__name__}")
 
 
 def make_protocol_kernel(
     protocol: BackoffProtocol, replications: int, capacity: int
 ) -> VectorProtocolKernel:
-    """Build the kernel for a supported protocol (see ``support.py``)."""
-    if isinstance(protocol, BinaryExponentialBackoff):
-        return BinaryExponentialKernel(protocol, replications, capacity)
-    if isinstance(protocol, PolynomialBackoff):
-        return PolynomialKernel(protocol, replications, capacity)
-    if isinstance(protocol, FixedProbabilityProtocol):
-        return FixedProbabilityKernel(protocol, replications, capacity)
-    raise TypeError(f"no vector kernel for protocol {type(protocol).__name__}")
+    """Build the kernel for one protocol batch (see ``support.py``)."""
+    return make_protocol_row_kernel([(protocol, replications)], capacity)

@@ -58,6 +58,41 @@ class VectorStreams:
     def __len__(self) -> int:
         return len(self.seeds)
 
+    def slice(self, start: int, stop: int) -> "StreamView":
+        """A view of the replication range ``[start, stop)``.
+
+        The view *shares* the underlying generator objects, which is what
+        mega-batched execution relies on: a segment consuming coins through
+        its view advances exactly the same generators, in exactly the same
+        per-replication order, as a standalone batch of that segment would —
+        the property that keeps mega-batched results bit-identical to
+        per-group vector runs.
+        """
+        return StreamView(
+            self.seeds[start:stop],
+            self.packet_generators[start:stop],
+            self.adversary_generators[start:stop],
+        )
+
+
+class StreamView:
+    """A contiguous slice of a :class:`VectorStreams` (shared generators)."""
+
+    __slots__ = ("seeds", "packet_generators", "adversary_generators")
+
+    def __init__(
+        self,
+        seeds: list[int],
+        packet_generators: list[np.random.Generator],
+        adversary_generators: list[np.random.Generator],
+    ) -> None:
+        self.seeds = seeds
+        self.packet_generators = packet_generators
+        self.adversary_generators = adversary_generators
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
 
 class CoinBlocks:
     """Blocked ``(R, P)`` per-slot uniforms from per-replication streams.
@@ -69,7 +104,7 @@ class CoinBlocks:
     capacity growth itself is a deterministic function of the seeds.
     """
 
-    def __init__(self, streams: VectorStreams, capacity: int) -> None:
+    def __init__(self, streams: "VectorStreams | StreamView", capacity: int) -> None:
         self._streams = streams
         self._capacity = max(1, capacity)
         self._block: np.ndarray | None = None

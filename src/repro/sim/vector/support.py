@@ -1,18 +1,23 @@
 """Which configurations the vector engine can run.
 
-The vector engine covers the *vectorizable core*: send-only protocols whose
-per-packet state reduces to a handful of scalars, composed with oblivious
-arrival processes (whose whole schedule can be precomputed as an array) and
-jammers whose per-slot decision depends on at most the slot index, a budget
-counter, and the backlog — all of which the engine tracks as arrays.
+The vector engine covers every built-in protocol tier: the send-only
+protocols whose per-packet state reduces to a handful of scalars, *and* the
+sensing tier (LOW-SENSING BACKOFF, its decoupled A1 variant, Sawtooth, and
+full-sensing multiplicative weights), whose ternary-feedback updates are
+computed from the engine's per-replication feedback arrays.  Adversaries
+qualify when they compose an oblivious arrival process (whose whole
+schedule can be precomputed as an array) with a jammer whose per-slot
+decision depends on at most the slot index, a budget counter, and the
+backlog — all of which the engine tracks as arrays.
 
-Everything else — sensing protocols (LOW-SENSING BACKOFF, full-sensing MW,
-Sawtooth), reactive or coupled adversaries, execution traces, and potential
-tracking — falls outside the lockstep model and must run on the scalar
-engine.  :func:`vector_support` answers "can this spec vectorize?" with
-``None`` (yes) or a human-readable reason (no), and the
-:class:`~repro.exec.vector_backend.VectorBackend` uses that answer to fall
-back transparently.
+What remains on the scalar engine: reactive jammers (they see the current
+slot's senders), contention-reading adaptive jammers, coupled adversaries
+whose injections and jams both read the live backlog
+(:class:`~repro.adversary.adaptive.BacklogCouplingAdversary`), execution
+traces, and potential tracking.  :func:`vector_support` answers "can this
+spec vectorize?" with ``None`` (yes) or a human-readable reason (no), and
+the :class:`~repro.exec.vector_backend.VectorBackend` uses that answer to
+fall back transparently.
 
 This module deliberately avoids importing numpy, so capability checks stay
 importable (and cheap) even where the vector engine itself is never used.
@@ -47,10 +52,14 @@ from repro.adversary.jamming import (
     NoJamming,
     PeriodicJamming,
 )
+from repro.adversary.adaptive import BacklogCouplingAdversary
 from repro.adversary.scheduled import ScheduledArrivals, ScheduledJamming
+from repro.core.low_sensing import DecoupledLowSensingBackoff, LowSensingBackoff
 from repro.protocols.binary_exponential import BinaryExponentialBackoff
 from repro.protocols.fixed_probability import FixedProbabilityProtocol, SlottedAloha
+from repro.protocols.mw_full_sensing import FullSensingMultiplicativeWeights
 from repro.protocols.polynomial_backoff import PolynomialBackoff
+from repro.protocols.sawtooth import SawtoothBackoff
 
 #: Protocol classes with a vector kernel (exact type match).
 VECTOR_PROTOCOLS = (
@@ -58,6 +67,12 @@ VECTOR_PROTOCOLS = (
     SlottedAloha,
     BinaryExponentialBackoff,
     PolynomialBackoff,
+    # The sensing tier: per-packet listen/send decisions and ternary-feedback
+    # state updates, computed in lockstep from per-replication feedback rows.
+    LowSensingBackoff,
+    DecoupledLowSensingBackoff,
+    SawtoothBackoff,
+    FullSensingMultiplicativeWeights,
 )
 
 #: Arrival-process classes with a vector schedule kernel (exact type match).
@@ -79,6 +94,21 @@ VECTOR_JAMMERS = (
 
 def _eligible(instance: Any, registry: tuple[type, ...]) -> bool:
     return type(instance) in registry and bool(getattr(instance, "vectorizable", False))
+
+
+def scheduled_identity(component: Any) -> str | None:
+    """Canonical identity of a scheduled component, ``None`` otherwise.
+
+    Mega-batches only merge groups whose schedules are *identical*; both
+    the backend's compatibility key and the engine's
+    ``from_spec_groups`` validation compare this exact string, so the
+    merge decision and the engine's acceptance can never disagree.
+    """
+    import json
+
+    if isinstance(component, (ScheduledArrivals, ScheduledJamming)):
+        return json.dumps(component.describe(), sort_keys=True)
+    return None
 
 
 def protocol_support(protocol: Any) -> str | None:
@@ -123,6 +153,13 @@ def jammer_support(jammer: Any) -> str | None:
 
 def adversary_support(adversary: Any) -> str | None:
     """``None`` if the adversary decomposes into vectorizable parts."""
+    if isinstance(adversary, BacklogCouplingAdversary):
+        return (
+            "adversary BacklogCouplingAdversary couples its injection and "
+            "jamming decisions through the live backlog (injects on deficit, "
+            "jams at backlog 1), so neither side can be precomputed in "
+            "lockstep"
+        )
     if not isinstance(adversary, CompositeAdversary):
         return (
             f"adversary {type(adversary).__name__} is not a CompositeAdversary "

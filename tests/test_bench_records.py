@@ -19,6 +19,30 @@ class TestRecordBench:
         assert "recorded_at" in data["E1"]["latest"]
         assert len(data["E1"]["history"]) == 1
 
+    def test_mirror_merges_the_same_record_into_a_second_file(self, tmp_path):
+        path = tmp_path / "results" / "BENCH_test.json"
+        mirror = tmp_path / "BENCH_test.json"
+        record_bench(path, "E1", seconds=1.25, scale="smoke", mirror=mirror)
+        record_bench(path, "E1", seconds=1.5, scale="smoke", mirror=mirror)
+        primary = json.loads(path.read_text(encoding="utf-8"))
+        mirrored = json.loads(mirror.read_text(encoding="utf-8"))
+        # Identical content (including timestamps): one record, two homes.
+        assert mirrored == primary
+        assert len(mirrored["E1"]["history"]) == 2
+
+    def test_mirror_equal_to_primary_writes_once(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        record_bench(path, "E1", seconds=1.0, scale="smoke", mirror=path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert len(data["E1"]["history"]) == 1
+        # A differently spelled path to the same file must not double-merge.
+        record_bench(
+            path, "E1", seconds=2.0, scale="smoke",
+            mirror=tmp_path / "sub" / ".." / "BENCH_test.json",
+        )
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert len(data["E1"]["history"]) == 2
+
     def test_history_accumulates_instead_of_overwriting(self, tmp_path):
         path = tmp_path / "BENCH_test.json"
         record_bench(path, "E1", seconds=1.0, scale="smoke")

@@ -22,15 +22,29 @@ from repro.scenarios.runner import build_plan
 from repro.scenarios.spec import scenario_from_dict
 from repro.store import ResultsStore
 
-#: A fast mixed scenario: binary-exponential vectorizes, low-sensing falls
-#: back to scalar, so vector campaigns exercise both unit kinds.
+#: A fast mixed-protocol scenario.  Every protocol here vectorizes (the
+#: sensing tier included, since the sensing-vector kernels), so a vector
+#: campaign cuts one lockstep unit per protocol group while a serial
+#: campaign cuts per-run scalar units; SCALAR_FALLBACK below covers the
+#: scalar-unit path *under* the vector backend (reactive jamming keeps
+#: every group on the scalar engine).
 MIXED = {
     "id": "campaign-mixed",
     "title": "Campaign test scenario",
+    "protocols": ["binary-exponential", "low-sensing", "sawtooth"],
+    "max_slots": 1500,
+    "replications": 3,
+    "arrivals": {"kind": "batch", "n": 12},
+}
+
+SCALAR_FALLBACK = {
+    "id": "campaign-reactive",
+    "title": "Reactive campaign scenario (serial fallback on vector backend)",
     "protocols": ["binary-exponential", "low-sensing"],
     "max_slots": 1500,
     "replications": 3,
     "arrivals": {"kind": "batch", "n": 12},
+    "jamming": {"kind": "reactive-success", "budget": 3},
 }
 
 VECTOR_ONLY = {
@@ -61,13 +75,13 @@ class TestRunAndResume:
                 store, _scenario(), scale="smoke", backend_name="serial"
             )
             assert outcome.status == "complete"
-            assert outcome.total_runs == 4  # 2 protocols x 2 smoke seeds
-            assert outcome.executed_runs == 4 and outcome.skipped_runs == 0
+            assert outcome.total_runs == 6  # 3 protocols x 2 smoke seeds
+            assert outcome.executed_runs == 6 and outcome.skipped_runs == 0
             rows = campaign_status_rows(store)
             assert len(rows) == 1
             assert rows[0]["status"] == "complete"
-            assert rows[0]["runs_done"] == rows[0]["total_runs"] == 4
-            assert store.stats()["runs_by_source"] == {"campaign": 4}
+            assert rows[0]["runs_done"] == rows[0]["total_runs"] == 6
+            assert store.stats()["runs_by_source"] == {"campaign": 6}
 
     def test_rerun_same_id_rejected_but_resume_is_noop(self, tmp_path):
         with ResultsStore(tmp_path / "store") as store:
@@ -226,6 +240,30 @@ class TestRunAndResume:
             assert by_layout["scalar"] == 4
             assert sum(v for k, v in by_layout.items() if k.startswith("vector:")) == 4
 
+    def test_vector_campaign_with_reactive_scenario_cuts_scalar_units(self, tmp_path):
+        """A reactive adversary keeps every group on the scalar engine, so a
+        vector-backend campaign stores scalar-layout runs — and they are
+        interchangeable with a serial campaign's (same fingerprint)."""
+        with ResultsStore(tmp_path / "vector") as a, ResultsStore(
+            tmp_path / "serial"
+        ) as b:
+            start_campaign(
+                a,
+                _scenario(SCALAR_FALLBACK),
+                scale="smoke",
+                backend_name="vector",
+                campaign_id="c",
+            )
+            start_campaign(
+                b,
+                _scenario(SCALAR_FALLBACK),
+                scale="smoke",
+                backend_name="serial",
+                campaign_id="c",
+            )
+            assert set(a.stats()["runs_by_layout"]) == {"scalar"}
+            assert a.fingerprint() == b.fingerprint()
+
 
 class TestReportAndStatus:
     def test_campaign_report_aggregates_from_registry(self, tmp_path):
@@ -234,9 +272,9 @@ class TestReportAndStatus:
                 store, _scenario(), scale="smoke", backend_name="serial"
             )
             report = campaign_report(store, outcome.campaign_id)
-            assert len(report.rows) == 2
+            assert len(report.rows) == 3
             protocols = {row["protocol"] for row in report.rows}
-            assert protocols == {"binary-exponential", "low-sensing"}
+            assert protocols == {"binary-exponential", "low-sensing", "sawtooth"}
             for row in report.rows:
                 assert row["replicates"] == 2
                 assert row["scenario"] == "campaign-mixed"

@@ -34,6 +34,52 @@ class TestList:
             assert isinstance(row["protocols"], list)
             assert len(row["content_hash"]) == 64
 
+    def test_json_listing_reports_vectorization(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_id = {row["id"]: row["vectorization"] for row in payload["experiments"]}
+        # E1 is entirely on the lockstep engine since the sensing kernels.
+        e1 = by_id["E1"]
+        assert e1["vectorizable_specs"] == e1["total_specs"] > 0
+        assert 0 < e1["mega_batches"] <= e1["vector_groups"]
+        assert e1["fallbacks"] == []
+        # E6 is reactive: every group names its fallback reason.
+        e6 = by_id["E6"]
+        assert e6["vectorizable_specs"] == 0
+        assert e6["fallbacks"]
+        for fallback in e6["fallbacks"]:
+            assert "reactive" in fallback["reason"]
+            assert fallback["protocol"] == "low-sensing"
+        # Scenarios carry the same field.
+        for row in payload["scenarios"]:
+            assert "vectorization" in row
+            assert row["vectorization"]["total_specs"] > 0
+
+
+class TestExplain:
+    def test_explain_prints_table_without_running(self, capsys):
+        assert main(["run", "e1", "--scale", "smoke", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 specs vectorize" in out
+        assert "vector kernel" in out
+        assert "low-sensing" in out and "sawtooth" in out
+        # No execution happened: no report table, no timing line.
+        assert "throughput" not in out
+
+    def test_explain_names_fallback_reasons(self, capsys):
+        assert main(["run", "e6", "--scale", "smoke", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "fallback: " in out
+        assert "reactive" in out
+
+    def test_explain_handles_multiple_ids_and_seeds(self, capsys):
+        assert main(
+            ["run", "e1", "e9", "--scale", "smoke", "--seeds", "1,2", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[E1]" in out and "[E9]" in out
+        assert "potential" in out  # E9's named fallback reason
+
 
 class TestRun:
     def test_run_writes_json_report(self, tmp_path, capsys):
@@ -91,10 +137,12 @@ class TestRun:
         payload = json.loads((out_dir / "e1.json").read_text(encoding="utf-8"))
         backend = payload["backend"]
         assert backend["backend"] == "vector"
-        # E1 mixes vectorizable baselines with sensing protocols, so the
-        # run must report both a vectorized share and a serial fallback.
+        # Since the sensing-tier kernels, every E1 protocol (baselines AND
+        # the sensing protocols) runs on the lockstep engine: no fallback.
         assert backend["vectorized_jobs"] > 0
-        assert backend["fallback_jobs"] > 0
+        assert backend["fallback_jobs"] == 0
+        assert backend["mega_batches"] > 0
+        assert backend["mega_batches"] <= backend["vector_groups"]
         assert backend["fallback"]["backend"] == "serial"
         assert payload["rows"] and payload["verdicts"]
 
@@ -111,11 +159,11 @@ class TestRun:
         assert code == 0
         e1 = json.loads((out_dir / "e1.json").read_text(encoding="utf-8"))
         e7 = json.loads((out_dir / "e7.json").read_text(encoding="utf-8"))
-        # E7 at smoke scale runs only the (non-vectorizable) low-sensing
-        # protocol; its report must not inherit E1's vectorized jobs.
-        assert e7["backend"]["vectorized_jobs"] == 0
-        assert e7["backend"]["fallback_jobs"] == 3
-        assert e1["backend"]["vectorized_jobs"] == 6
+        # Counters are attributed per experiment: E7's three low-sensing
+        # jammer groups must not inherit E1's twelve vectorized jobs.
+        assert e7["backend"]["vectorized_jobs"] == 3
+        assert e7["backend"]["fallback_jobs"] == 0
+        assert e1["backend"]["vectorized_jobs"] == 12
 
     def test_run_bench_out_merges_history(self, tmp_path):
         bench_path = tmp_path / "BENCH_cli.json"
@@ -152,7 +200,13 @@ class TestScenario:
         payload = json.loads(capsys.readouterr().out)
         assert payload["id"] == "onoff-jamming"
         assert payload["vector_support"]["binary-exponential"] == "vectorizable"
-        assert "no vector kernel" in payload["vector_support"]["low-sensing"]
+        # The sensing tier vectorizes too since the sensing-vector kernels.
+        assert payload["vector_support"]["low-sensing"] == "vectorizable"
+        # A reactive scenario still reports its named fallback reason.
+        assert main(["scenario", "show", "reactive-starvation"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for reason in payload["vector_support"].values():
+            assert "reactive" in reason
 
     def test_scenario_show_unknown_rejected(self):
         with pytest.raises(SystemExit):
@@ -200,8 +254,10 @@ class TestScenario:
         )
         backend = payload["backend"]
         assert backend["backend"] == "vector"
-        assert backend["vectorized_jobs"] > 0  # BEB + polynomial groups
-        assert backend["fallback_jobs"] > 0  # low-sensing group
+        # All of ramp-down-jamming's protocols (low-sensing included) ride
+        # the schedule-aware vector kernels now.
+        assert backend["vectorized_jobs"] > 0
+        assert backend["fallback_jobs"] == 0
         bench = json.loads((tmp_path / "BENCH.json").read_text(encoding="utf-8"))
         assert bench["scenario:ramp-down-jamming"]["latest"]["content_hash"]
 

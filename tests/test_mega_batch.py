@@ -1,0 +1,346 @@
+"""Tests for cross-config mega-batching.
+
+The headline contract: stacking compatible replication groups into one
+ragged lockstep batch (``VectorSimulator.from_spec_groups``, used by
+``VectorBackend(mega_batch=True)``) is a pure wall-clock optimisation —
+results are **bit-identical** to running each group through its own
+per-group batch.  That identity is what keeps the campaign store's
+``vector:<batch_signature>`` storage identities stable: a mega-batched
+sweep produces byte-for-byte the artifacts a per-group campaign run
+produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.arrivals import BatchArrivals, PoissonArrivals
+from repro.adversary.composite import CompositeAdversary
+from repro.adversary.jamming import BernoulliJamming, NoJamming, PeriodicJamming
+from repro.core.low_sensing import LowSensingBackoff
+from repro.core.parameters import LowSensingParameters
+from repro.exec import SerialBackend, VectorBackend
+from repro.experiments.plan import RunSpec, SweepPlan, batch_signature, factory
+from repro.protocols.binary_exponential import BinaryExponentialBackoff
+from repro.protocols.mw_full_sensing import FullSensingMultiplicativeWeights
+from repro.protocols.polynomial_backoff import PolynomialBackoff
+from repro.sim.vector import VectorSimulator
+
+
+def batch_adversary(n, jammer=None):
+    parts = [factory(BatchArrivals, n)]
+    if jammer is not None:
+        parts.append(jammer)
+    return factory(CompositeAdversary, *parts)
+
+
+def group(protocol, adversary, seeds, **kwargs):
+    return [
+        RunSpec(protocol=protocol, adversary=adversary, seed=seed, **kwargs)
+        for seed in seeds
+    ]
+
+
+def identical(a, b):
+    return (
+        a.collector.backlog_series == b.collector.backlog_series
+        and a.collector.total_listens == b.collector.total_listens
+        and a.num_slots == b.num_slots
+        and a.drained == b.drained
+        and [(p.packet_id, p.arrival_slot, p.departure_slot, p.sends, p.listens) for p in a.packets]
+        == [(p.packet_id, p.arrival_slot, p.departure_slot, p.sends, p.listens) for p in b.packets]
+    )
+
+
+def assert_mega_matches_per_group(spec_groups):
+    simulator = VectorSimulator.from_spec_groups(spec_groups)
+    assert simulator.num_groups == len(spec_groups)
+    mega = simulator.run()
+    flat = iter(mega)
+    for specs in spec_groups:
+        solo = VectorSimulator.from_specs(specs).run()
+        for expected in solo:
+            got = next(flat)
+            assert identical(got, expected)
+
+
+class TestBitIdentityWithPerGroupExecution:
+    def test_send_only_protocol_param_grid(self):
+        spec_groups = [
+            group(BinaryExponentialBackoff(initial_window=2.0 + i), batch_adversary(20 + 3 * i), [1, 2, 3])
+            for i in range(6)
+        ]
+        assert_mega_matches_per_group(spec_groups)
+
+    def test_sensing_protocol_param_grid(self):
+        spec_groups = [
+            group(
+                LowSensingBackoff(params=LowSensingParameters(c=c, w_min=w_min)),
+                batch_adversary(n),
+                [1, 2],
+            )
+            for c, w_min, n in [(0.5, 32.0, 20), (1.0, 100.0, 25), (1.4, 256.0, 30)]
+        ]
+        assert_mega_matches_per_group(spec_groups)
+
+    def test_jammer_params_promoted_per_row(self):
+        spec_groups = [
+            group(
+                PolynomialBackoff(),
+                batch_adversary(15, factory(PeriodicJamming, period=p, budget=b)),
+                [5, 6],
+                max_slots=4_000,
+            )
+            for p, b in [(3, 10), (5, 20), (11, None)]
+        ]
+        assert_mega_matches_per_group(spec_groups)
+
+    def test_random_adversaries_keep_their_streams(self):
+        # Poisson arrivals + Bernoulli jamming both consume per-replication
+        # adversary randomness; stacking must not shift any stream.
+        spec_groups = [
+            group(
+                BinaryExponentialBackoff(),
+                factory(
+                    CompositeAdversary,
+                    factory(PoissonArrivals, rate=rate, horizon=700),
+                    factory(BernoulliJamming, probability=jam, budget=9),
+                ),
+                [7, 8],
+                max_slots=5_000,
+            )
+            for rate, jam in [(0.02, 0.02), (0.05, 0.05), (0.08, 0.01)]
+        ]
+        assert_mega_matches_per_group(spec_groups)
+
+    def test_ragged_drain_times(self):
+        # Wildly different batch sizes: early groups drain long before the
+        # last one, so their rows must stop exactly where a solo run stops.
+        spec_groups = [
+            group(BinaryExponentialBackoff(), batch_adversary(n), [1, 2])
+            for n in (2, 10, 80)
+        ]
+        assert_mega_matches_per_group(spec_groups)
+
+    def test_identical_schedules_stack(self):
+        # Same piecewise jamming schedule across groups (differing protocol
+        # parameters): stacks, and every phase kernel keeps its streams.
+        from repro.adversary.scheduled import ScheduledJamming
+        from repro.scenarios.schedule import Phase
+
+        def scheduled_jammer():
+            return factory(
+                ScheduledJamming,
+                factory(
+                    Phase, factory(BernoulliJamming, 0.2, budget=10), duration=40
+                ),
+                factory(Phase, factory(NoJamming), duration=40),
+                factory(Phase, factory(BernoulliJamming, 0.05, budget=5)),
+            )
+
+        spec_groups = [
+            group(
+                LowSensingBackoff(params=LowSensingParameters(w_min=w_min)),
+                factory(
+                    CompositeAdversary, factory(BatchArrivals, 15), scheduled_jammer()
+                ),
+                [1, 2],
+                max_slots=6_000,
+            )
+            for w_min in (32.0, 64.0)
+        ]
+        assert_mega_matches_per_group(spec_groups)
+
+    def test_differing_schedules_refuse_to_stack(self):
+        from repro.adversary.scheduled import ScheduledJamming
+        from repro.scenarios.schedule import Phase
+
+        def jammer(probability):
+            return factory(
+                ScheduledJamming,
+                factory(Phase, factory(BernoulliJamming, probability)),
+            )
+
+        spec_groups = [
+            group(
+                LowSensingBackoff(),
+                factory(CompositeAdversary, factory(BatchArrivals, 10), jammer(p)),
+                [1],
+            )
+            for p in (0.1, 0.2)
+        ]
+        with pytest.raises(ValueError, match="schedule"):
+            VectorSimulator.from_spec_groups(spec_groups)
+        # The backend never attempts it: distinct schedules split launches.
+        plan = SweepPlan()
+        for specs in spec_groups:
+            plan.add_group(specs[0].protocol, specs[0].adversary, [1])
+        backend = VectorBackend()
+        plan.run(backend)
+        assert backend.mega_batches == 2
+
+    def test_capacity_growth_stays_per_group(self):
+        # One group's Poisson overflow grows *its* capacity (and coin
+        # geometry); the small group alongside must be unaffected.
+        spec_groups = [
+            group(
+                BinaryExponentialBackoff(),
+                factory(CompositeAdversary, factory(PoissonArrivals, rate=0.2, horizon=900)),
+                [1, 2],
+                max_slots=8_000,
+            ),
+            group(
+                BinaryExponentialBackoff(initial_window=4.0),
+                factory(CompositeAdversary, factory(PoissonArrivals, rate=0.01, horizon=900)),
+                [3, 4],
+                max_slots=8_000,
+            ),
+        ]
+        assert_mega_matches_per_group(spec_groups)
+
+
+class TestFromSpecGroupsValidation:
+    def test_rejects_mixed_protocol_families(self):
+        with pytest.raises(ValueError, match="protocol class"):
+            VectorSimulator.from_spec_groups(
+                [
+                    group(BinaryExponentialBackoff(), batch_adversary(5), [1]),
+                    group(PolynomialBackoff(), batch_adversary(5), [1]),
+                ]
+            )
+
+    def test_rejects_mixed_jammer_families(self):
+        with pytest.raises(ValueError, match="jammer class"):
+            VectorSimulator.from_spec_groups(
+                [
+                    group(BinaryExponentialBackoff(), batch_adversary(5), [1]),
+                    group(
+                        BinaryExponentialBackoff(),
+                        batch_adversary(5, factory(PeriodicJamming, period=3)),
+                        [1],
+                    ),
+                ]
+            )
+
+    def test_rejects_mixed_engine_options(self):
+        with pytest.raises(ValueError, match="max_slots"):
+            VectorSimulator.from_spec_groups(
+                [
+                    group(BinaryExponentialBackoff(), batch_adversary(5), [1], max_slots=1_000),
+                    group(BinaryExponentialBackoff(), batch_adversary(5), [1], max_slots=2_000),
+                ]
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="spec group"):
+            VectorSimulator.from_spec_groups([])
+
+
+class TestBackendMegaBatching:
+    def test_compatible_groups_collapse_to_one_launch(self):
+        plan = SweepPlan()
+        for i in range(8):
+            plan.add_group(
+                BinaryExponentialBackoff(initial_window=2.0 + i),
+                batch_adversary(10 + i),
+                [1, 2],
+                columns={"i": i},
+            )
+        backend = VectorBackend()
+        plan.run(backend)
+        assert backend.vector_groups == 8
+        assert backend.mega_batches == 1
+        assert backend.vectorized_jobs == 16
+
+    def test_mega_batch_off_is_one_launch_per_group(self):
+        plan = SweepPlan()
+        for i in range(4):
+            plan.add_group(
+                BinaryExponentialBackoff(initial_window=2.0 + i),
+                batch_adversary(10),
+                [1, 2],
+                columns={"i": i},
+            )
+        backend = VectorBackend(mega_batch=False)
+        plan.run(backend)
+        assert backend.vector_groups == 4
+        assert backend.mega_batches == 4
+
+    def test_incompatible_families_split_launches(self):
+        plan = SweepPlan()
+        plan.add_group(BinaryExponentialBackoff(), batch_adversary(10), [1, 2])
+        plan.add_group(FullSensingMultiplicativeWeights(), batch_adversary(10), [1, 2])
+        plan.add_group(
+            BinaryExponentialBackoff(),
+            batch_adversary(10, factory(PeriodicJamming, period=3)),
+            [1, 2],
+        )
+        backend = VectorBackend()
+        plan.run(backend)
+        assert backend.vector_groups == 3
+        assert backend.mega_batches == 3
+
+    def test_backend_results_identical_with_and_without_mega(self):
+        plan = SweepPlan()
+        for i in range(5):
+            plan.add_group(
+                LowSensingBackoff(params=LowSensingParameters(w_min=32.0 + 8 * i)),
+                batch_adversary(12 + i),
+                [1, 2],
+                columns={"i": i},
+            )
+        mega = plan.run(VectorBackend(mega_batch=True)).results
+        per_group = plan.run(VectorBackend(mega_batch=False)).results
+        for a, b in zip(mega, per_group):
+            assert identical(a, b)
+
+    def test_mixed_with_fallback_keeps_job_order(self):
+        plan = SweepPlan()
+        plan.add_group(BinaryExponentialBackoff(), batch_adversary(10), [1, 2])
+        plan.add_group(
+            BinaryExponentialBackoff(initial_window=6.0), batch_adversary(10), [3]
+        )
+        plan.add_group(
+            BinaryExponentialBackoff(),
+            batch_adversary(10),
+            [4],
+            collect_trace=True,  # serial fallback
+        )
+        backend = VectorBackend()
+        results = plan.run(backend).results
+        assert [r.seed for r in results] == [1, 2, 3, 4]
+        assert backend.mega_batches == 1
+        assert backend.fallback_jobs == 1
+        serial = SerialBackend().run([plan.specs[3]])[0]
+        assert identical(results[3], serial)
+
+    def test_describe_reports_launch_counters(self):
+        backend = VectorBackend()
+        description = backend.describe()
+        assert description["mega_batches"] == 0
+        assert description["mega_batch"] is True
+
+
+class TestStorageIdentityStability:
+    def test_batch_signature_is_per_group_not_per_mega_batch(self):
+        """Campaign units are per-group lockstep batches; mega-batching a
+        sweep must neither change the per-group signatures nor the results
+        filed under them."""
+        groups = [
+            group(BinaryExponentialBackoff(initial_window=2.0 + i), batch_adversary(10), [1, 2])
+            for i in range(3)
+        ]
+        signatures = [batch_signature(specs) for specs in groups]
+        assert len(set(signatures)) == 3
+        mega = VectorSimulator.from_spec_groups(groups).run()
+        # The results a campaign would store under each signature are the
+        # per-group batch outputs — which the mega run reproduces exactly.
+        offset = 0
+        for specs in groups:
+            solo = VectorSimulator.from_specs(specs).run()
+            for expected in solo:
+                assert identical(mega[offset], expected)
+                offset += 1
+        # And the signatures are a function of the specs alone, so they are
+        # unchanged by how the backend chose to batch.
+        assert signatures == [batch_signature(specs) for specs in groups]

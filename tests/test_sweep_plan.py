@@ -117,6 +117,38 @@ class TestSweepPlan:
         assert plan_row == runner_row
 
 
+class TestVectorSupportMemoisation:
+    def test_identical_configs_probe_once_across_seeds_and_plans(self):
+        from repro.experiments.plan import (
+            _cached_vector_support_by_signature,
+            cached_vector_support,
+        )
+
+        _cached_vector_support_by_signature.cache_clear()
+        adversary = _batch_adversary(9)
+        specs = [
+            RunSpec(protocol=LowSensingBackoff(), adversary=adversary, seed=seed)
+            for seed in range(40)
+        ]
+        for spec in specs:
+            assert cached_vector_support(spec) is None
+        info = _cached_vector_support_by_signature.cache_info()
+        # The seed is normalised out of the memo key: one probe, 39 hits.
+        assert info.misses == 1
+        assert info.hits == 39
+
+    def test_vector_summary_uses_the_memo(self):
+        from repro.experiments.plan import _cached_vector_support_by_signature
+
+        _cached_vector_support_by_signature.cache_clear()
+        plan = SweepPlan()
+        for _ in range(3):  # identical configuration added as three groups
+            plan.add_group(LowSensingBackoff(), _batch_adversary(9), [1, 2, 3])
+        plan.vector_summary()
+        plan.vector_summary()
+        assert _cached_vector_support_by_signature.cache_info().misses == 1
+
+
 class TestBackendEquivalence:
     """The same plan must produce bit-identical summaries on every backend."""
 

@@ -1,10 +1,13 @@
 """Tests for `VectorBackend`: grouping, ordering, and the serial fallback.
 
 The vector/scalar boundary contract: every configuration the vector engine
-does not support (sensing protocols, reactive or coupled adversaries,
-traces, potential tracking) must cleanly fall back to the serial engine and
-produce results *identical* to `SerialBackend` — it is literally the same
-code path, so this is an equality, not a statistical, assertion.
+does not support (reactive or coupled adversaries, contention-reading
+jammers, traces, potential tracking) must cleanly fall back to the serial
+engine and produce results *identical* to `SerialBackend` — it is literally
+the same code path, so this is an equality, not a statistical, assertion.
+The sensing protocols (low-sensing, sawtooth, full-sensing MW) vectorize
+since the sensing-tier kernels landed, so the fallback set here is exactly
+the adversary/instrumentation remainder.
 """
 
 from __future__ import annotations
@@ -64,9 +67,6 @@ def summary_tuple(result):
 
 
 UNSUPPORTED_SPECS = [
-    pytest.param(spec(SawtoothBackoff(), 1), id="sawtooth"),
-    pytest.param(spec(FullSensingMultiplicativeWeights(), 2), id="full-sensing-mw"),
-    pytest.param(spec(LowSensingBackoff(), 3), id="low-sensing"),
     pytest.param(
         spec(
             BinaryExponentialBackoff(),
@@ -128,6 +128,26 @@ class TestFallbackBoundary:
     def test_unsupported_spec_declares_a_reason(self, unsupported):
         assert unsupported.vector_support() is not None
 
+    def test_sensing_protocols_no_longer_fall_back(self):
+        for protocol in (
+            SawtoothBackoff(),
+            FullSensingMultiplicativeWeights(),
+            LowSensingBackoff(),
+        ):
+            assert spec(protocol, 1).vector_support() is None
+
+    def test_backlog_coupling_reason_names_the_coupling(self):
+        coupled = spec(
+            BinaryExponentialBackoff(),
+            7,
+            adversary=factory(
+                BacklogCouplingAdversary, target_backlog=2, total_packets=10
+            ),
+        )
+        reason = coupled.vector_support()
+        assert "BacklogCouplingAdversary" in reason
+        assert "backlog" in reason
+
     @pytest.mark.parametrize("unsupported", UNSUPPORTED_SPECS)
     def test_unsupported_spec_identical_to_serial(self, unsupported):
         backend = VectorBackend()
@@ -159,7 +179,7 @@ class TestGroupingAndOrdering:
             spec(LowSensingBackoff(), 1),
             spec(BinaryExponentialBackoff(), 2),
             spec(LowSensingBackoff(), 3),
-            spec(BinaryExponentialBackoff(), 4),
+            spec(BinaryExponentialBackoff(), 4, collect_trace=True),
             spec(FixedProbabilityProtocol.tuned_for(20), 5),
         ]
         backend = VectorBackend()
@@ -172,11 +192,11 @@ class TestGroupingAndOrdering:
             "binary-exponential",
             "fixed-probability",
         ]
-        assert backend.vectorized_jobs == 3
-        assert backend.fallback_jobs == 2
-        # BEB seeds 2 and 4 share a group; the tuned fixed-probability
-        # protocol forms its own.
-        assert backend.vector_groups == 2
+        # The trace-enabled BEB job is the lone fallback; low-sensing seeds
+        # 1 and 3 share a lockstep group.
+        assert backend.vectorized_jobs == 4
+        assert backend.fallback_jobs == 1
+        assert backend.vector_groups == 3
 
     def test_same_config_many_seeds_is_one_group(self):
         jobs = [spec(BinaryExponentialBackoff(), seed) for seed in range(6)]
@@ -208,28 +228,48 @@ class TestGroupingAndOrdering:
 
 class TestPlanIntegration:
     def test_sweep_plan_runs_on_vector_backend(self):
+        reactive = factory(
+            CompositeAdversary,
+            factory(BatchArrivals, 20),
+            factory(ReactiveSuccessJammer, budget=3),
+        )
         plan = SweepPlan()
-        for protocol in (LowSensingBackoff(), BinaryExponentialBackoff()):
-            plan.add_group(
-                protocol, batch_adversary(20), seeds=[1, 2, 3], columns={"n": 20}
-            )
+        plan.add_group(
+            BinaryExponentialBackoff(), reactive, seeds=[1, 2, 3], columns={"n": 20}
+        )
+        plan.add_group(
+            LowSensingBackoff(), batch_adversary(20), seeds=[1, 2, 3], columns={"n": 20}
+        )
         vector_rows = plan.run(VectorBackend()).group_rows()
         serial_rows = plan.run(SerialBackend()).group_rows()
         assert len(vector_rows) == 2
-        # The low-sensing group falls back to serial: bit-identical rows.
+        # The reactive group falls back to serial: bit-identical rows.
         assert vector_rows[0] == serial_rows[0]
-        # The BEB group vectorizes: same workload, different coins.
+        # The low-sensing group vectorizes: same workload, different coins.
         assert vector_rows[1]["arrivals"] == serial_rows[1]["arrivals"]
         assert vector_rows[1]["drained"] == serial_rows[1]["drained"]
+        assert vector_rows[1]["mean_listens"] > 0
 
     def test_vector_summary_metadata(self):
+        reactive = factory(
+            CompositeAdversary,
+            factory(BatchArrivals, 10),
+            factory(ReactiveSuccessJammer, budget=3),
+        )
         plan = SweepPlan()
         plan.add_group(BinaryExponentialBackoff(), batch_adversary(10), seeds=[1, 2])
-        plan.add_group(LowSensingBackoff(), batch_adversary(10), seeds=[3, 4])
+        plan.add_group(
+            BinaryExponentialBackoff(initial_window=8.0), batch_adversary(10), seeds=[1, 2]
+        )
+        plan.add_group(LowSensingBackoff(), reactive, seeds=[3, 4])
         summary = plan.vector_summary()
-        assert summary["total_specs"] == 4
-        assert summary["vectorizable_specs"] == 2
-        assert list(summary["fallback_groups"]) == [1]
+        assert summary["total_specs"] == 6
+        assert summary["vectorizable_specs"] == 4
+        assert list(summary["fallback_groups"]) == [2]
+        # Two distinct BEB configurations: two lockstep groups, one
+        # mega-batch launch (same kernel family).
+        assert summary["vector_groups"] == 2
+        assert summary["mega_batches"] == 1
 
 
 class TestRegistration:
@@ -284,7 +324,12 @@ class TestCacheLayoutIsolation:
         assert not list(tmp_path.glob("*.pkl"))
 
     def test_fallback_jobs_share_the_scalar_cache(self, tmp_path):
-        job = spec(LowSensingBackoff(), 7)  # falls back to serial
+        reactive = factory(
+            CompositeAdversary,
+            factory(BatchArrivals, 20),
+            factory(ReactiveSuccessJammer, budget=3),
+        )
+        job = spec(LowSensingBackoff(), 7, adversary=reactive)  # serial fallback
         serial_cached = make_backend("serial", cache_dir=str(tmp_path))
         serial_result = serial_cached.run([job])[0]
         vector_cached = make_backend("vector", cache_dir=str(tmp_path))
@@ -298,6 +343,14 @@ class TestCacheLayoutIsolation:
 
     def test_result_layout_declarations(self):
         backend = VectorBackend()
+        reactive = factory(
+            CompositeAdversary,
+            factory(BatchArrivals, 20),
+            factory(ReactiveSuccessJammer, budget=3),
+        )
+        fallback_spec = spec(BinaryExponentialBackoff(), 1, adversary=reactive)
         assert backend.result_layout(spec(BinaryExponentialBackoff(), 1)) is None
-        assert backend.result_layout(spec(LowSensingBackoff(), 1)) == "scalar"
-        assert SerialBackend().result_layout(spec(LowSensingBackoff(), 1)) == "scalar"
+        # Sensing protocols are vector-layout now too.
+        assert backend.result_layout(spec(LowSensingBackoff(), 1)) is None
+        assert backend.result_layout(fallback_spec) == "scalar"
+        assert SerialBackend().result_layout(fallback_spec) == "scalar"

@@ -266,14 +266,25 @@ class TestValidationAndSupport:
             VectorSimulator(ALWAYS_SEND, BatchArrivals(1), NoJamming(), seeds=[])
 
     def test_rejects_unsupported_protocol(self):
+        class CustomProtocol(BinaryExponentialBackoff):
+            """Subclass without a registered kernel: must stay scalar."""
+
         with pytest.raises(ValueError, match="cannot vectorize"):
-            VectorSimulator(LowSensingBackoff(), BatchArrivals(1), NoJamming(), seeds=[1])
+            VectorSimulator(CustomProtocol(), BatchArrivals(1), NoJamming(), seeds=[1])
 
     def test_protocol_support_flags(self):
+        from repro.core.low_sensing import DecoupledLowSensingBackoff
+        from repro.protocols.mw_full_sensing import FullSensingMultiplicativeWeights
+        from repro.protocols.sawtooth import SawtoothBackoff
+
         assert protocol_support(BinaryExponentialBackoff()) is None
         assert protocol_support(PolynomialBackoff()) is None
         assert protocol_support(FixedProbabilityProtocol()) is None
-        assert protocol_support(LowSensingBackoff()) is not None
+        # The sensing tier has kernels since the sensing-vector work.
+        assert protocol_support(LowSensingBackoff()) is None
+        assert protocol_support(DecoupledLowSensingBackoff()) is None
+        assert protocol_support(SawtoothBackoff()) is None
+        assert protocol_support(FullSensingMultiplicativeWeights()) is None
 
     def test_subclass_of_supported_protocol_is_rejected(self):
         class Tweaked(BinaryExponentialBackoff):

@@ -81,11 +81,15 @@ class TestVectorMatchesScalarStatistically:
         assert "latency_distribution" in metrics
 
     def test_rejects_non_vectorizable_specs(self):
-        from repro.core.low_sensing import LowSensingBackoff
+        from repro.adversary.jamming import ReactiveSuccessJammer
 
-        adversary = factory(CompositeAdversary, factory(BatchArrivals, 10))
+        adversary = factory(
+            CompositeAdversary,
+            factory(BatchArrivals, 10),
+            factory(ReactiveSuccessJammer, budget=3),
+        )
         with pytest.raises(ValueError, match="cannot vectorize"):
-            verify_vector_equivalence(specs_for(LowSensingBackoff(), adversary))
+            verify_vector_equivalence(specs_for(PolynomialBackoff(), adversary))
 
 
 class TestHarnessDetectsRealDifferences:
