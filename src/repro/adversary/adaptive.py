@@ -32,6 +32,8 @@ class BacklogCouplingAdversary(Adversary):
     finite-stream metrics remain well defined.
     """
 
+    vectorizable = True
+
     def __init__(
         self,
         target_backlog: int,

@@ -236,6 +236,7 @@ class AdversarialQueueingArrivals(ArrivalProcess):
     """
 
     oblivious = True
+    vectorizable = True
 
     PLACEMENTS = ("front", "uniform", "random")
 

@@ -229,6 +229,7 @@ class BudgetedRandomJamming(_BudgetedJammer):
     """
 
     oblivious = True
+    vectorizable = True
 
     def __init__(self, budget: int, horizon: int) -> None:
         super().__init__(budget)
@@ -262,6 +263,7 @@ class AdaptiveContentionJammer(_BudgetedJammer):
     """
 
     needs_contention = True
+    vectorizable = True
 
     def __init__(
         self,
@@ -293,6 +295,13 @@ class AdaptiveContentionJammer(_BudgetedJammer):
             return False
         return self._spend()
 
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["target_regime"] = self.target_regime
+        description["c_low"] = self.c_low
+        description["c_high"] = self.c_high
+        return description
+
 
 class ReactiveTargetedJammer(_BudgetedJammer):
     """Reactive strategy: jam whenever a targeted packet transmits.
@@ -309,6 +318,7 @@ class ReactiveTargetedJammer(_BudgetedJammer):
     """
 
     reactive = True
+    vectorizable = True
 
     def __init__(self, budget: int | None, target_index: int = 0) -> None:
         super().__init__(budget)
@@ -334,6 +344,11 @@ class ReactiveTargetedJammer(_BudgetedJammer):
             return False
         return self._spend()
 
+    def describe(self) -> dict[str, object]:
+        description = super().describe()
+        description["target_index"] = self.target_index
+        return description
+
 
 class ReactiveSuccessJammer(_BudgetedJammer):
     """Reactive strategy: jam every slot that would otherwise be a success.
@@ -345,6 +360,7 @@ class ReactiveSuccessJammer(_BudgetedJammer):
     """
 
     reactive = True
+    vectorizable = True
 
     def __init__(self, budget: int | None) -> None:
         super().__init__(budget)

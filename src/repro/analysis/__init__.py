@@ -23,6 +23,7 @@ from repro.analysis.equivalence import (
     KsResult,
     MetricComparison,
     compare_result_sets,
+    design_effect,
     ks_2sample,
     verify_vector_equivalence,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "KsResult",
     "MetricComparison",
     "compare_result_sets",
+    "design_effect",
     "ks_2sample",
     "verify_vector_equivalence",
     "bootstrap_mean_interval",

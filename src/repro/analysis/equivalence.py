@@ -21,7 +21,15 @@ Two complementary checks are applied per metric:
 * **distribution-level agreement** — per-packet distributions (latency,
   channel accesses) pooled across replicates are compared with a two-sample
   Kolmogorov–Smirnov test; the sides agree when the asymptotic p-value
-  clears ``alpha``.
+  clears ``alpha``.  Packets within one replicate are *not* independent —
+  a burst of jamming early in a run shifts every packet of that run
+  together — so the p-value is computed at a Kish-deflated effective
+  sample size ``n / (1 + (m̄ - 1)·ICC)``, where the intraclass
+  correlation is estimated per side with the one-way ANOVA estimator.
+  For weakly-coupled configurations the ICC is ≈0 and the correction is a
+  no-op; for feedback-coupled adversaries (reactive/adaptive jamming)
+  the clustering is strong and the naive pooled test would reject
+  genuinely equivalent engine pairs.
 
 Repeated *vector* runs of the same batch must be bit-identical — that
 stronger property is checked directly by the test suite, not here.
@@ -52,13 +60,26 @@ class KsResult:
     n2: int
 
 
-def ks_2sample(sample1: Sequence[float], sample2: Sequence[float]) -> KsResult:
+def ks_2sample(
+    sample1: Sequence[float],
+    sample2: Sequence[float],
+    *,
+    n_eff1: float | None = None,
+    n_eff2: float | None = None,
+) -> KsResult:
     """Two-sample KS test with the classical asymptotic p-value.
 
     The p-value uses the Kolmogorov distribution with the standard
     small-sample correction (Numerical Recipes); it is accurate enough for
     the pooled per-packet samples (hundreds to thousands of points) this
     harness compares.
+
+    ``n_eff1``/``n_eff2`` override the sample sizes used for the p-value
+    (the D statistic always uses the full samples).  Callers with
+    clustered samples pass Kish-deflated effective sizes here — see
+    :func:`design_effect` — because the asymptotic p-value assumes
+    independent draws and is anti-conservative under within-cluster
+    correlation.
     """
     if not sample1 or not sample2:
         raise ValueError("both samples must be non-empty")
@@ -75,10 +96,50 @@ def ks_2sample(sample1: Sequence[float], sample2: Sequence[float]) -> KsResult:
         while j < n2 and ys[j] <= smallest:
             j += 1
         statistic = max(statistic, abs(i / n1 - j / n2))
-    effective = math.sqrt(n1 * n2 / (n1 + n2))
+    m1 = float(n1) if n_eff1 is None else min(float(n1), max(1.0, n_eff1))
+    m2 = float(n2) if n_eff2 is None else min(float(n2), max(1.0, n_eff2))
+    effective = math.sqrt(m1 * m2 / (m1 + m2))
     lam = (effective + 0.12 + 0.11 / effective) * statistic
     p_value = _kolmogorov_sf(lam)
     return KsResult(statistic=statistic, p_value=p_value, n1=n1, n2=n2)
+
+
+def design_effect(groups: Sequence[Sequence[float]]) -> float:
+    """Kish design effect ``1 + (m̄ - 1)·ICC`` of clustered samples.
+
+    ``groups`` holds one inner sequence per cluster (here: the per-packet
+    values of one replicate).  The intraclass correlation is the one-way
+    ANOVA estimator ``(MSB - MSW) / (MSB + (n0 - 1)·MSW)`` clamped to
+    ``[0, 1]``; degenerate inputs (fewer than two clusters, singleton
+    clusters only, zero variance) fall back to a design effect of 1, which
+    reduces the corrected KS test to the classical one.
+    """
+    sizes = [len(group) for group in groups if group]
+    k = len(sizes)
+    total = sum(sizes)
+    if k < 2 or total <= k:
+        return 1.0
+    grand_mean = sum(value for group in groups for value in group) / total
+    ss_between = 0.0
+    ss_within = 0.0
+    for group in groups:
+        if not group:
+            continue
+        group_mean = sum(group) / len(group)
+        ss_between += len(group) * (group_mean - grand_mean) ** 2
+        ss_within += sum((value - group_mean) ** 2 for value in group)
+    ms_between = ss_between / (k - 1)
+    ms_within = ss_within / (total - k)
+    if ms_between <= 0.0 and ms_within <= 0.0:
+        return 1.0
+    n0 = (total - sum(size * size for size in sizes) / total) / (k - 1)
+    denominator = ms_between + (n0 - 1.0) * ms_within
+    if denominator <= 0.0:
+        return 1.0
+    icc = (ms_between - ms_within) / denominator
+    icc = min(1.0, max(0.0, icc))
+    mean_size = total / k
+    return 1.0 + (mean_size - 1.0) * icc
 
 
 def _kolmogorov_sf(lam: float) -> float:
@@ -119,21 +180,20 @@ REPLICATE_METRICS: dict[str, Callable[[SimulationResult], float]] = {
 }
 
 
-def _pooled_latencies(results: Sequence[SimulationResult]) -> list[float]:
+def _pooled_latencies(results: Sequence[SimulationResult]) -> list[list[float]]:
     return [
-        float(p.latency)
+        [float(p.latency) for p in result.packets if p.latency is not None]
         for result in results
-        for p in result.packets
-        if p.latency is not None
     ]
 
 
-def _pooled_accesses(results: Sequence[SimulationResult]) -> list[float]:
-    return [float(p.channel_accesses) for result in results for p in result.packets]
+def _pooled_accesses(results: Sequence[SimulationResult]) -> list[list[float]]:
+    return [[float(p.channel_accesses) for p in result.packets] for result in results]
 
 
-#: Pooled per-packet distributions compared via the KS test.
-POOLED_METRICS: dict[str, Callable[[Sequence[SimulationResult]], list[float]]] = {
+#: Per-packet distributions grouped by replicate, compared via the KS test
+#: at a design-effect-corrected effective sample size.
+POOLED_METRICS: dict[str, Callable[[Sequence[SimulationResult]], list[list[float]]]] = {
     "latency_distribution": _pooled_latencies,
     "accesses_distribution": _pooled_accesses,
 }
@@ -218,12 +278,21 @@ def compare_result_sets(
         )
 
     for metric, pool in POOLED_METRICS.items():
-        left = pool(scalar_results)
-        right = pool(vector_results)
+        left_groups = pool(scalar_results)
+        right_groups = pool(vector_results)
+        left = [value for group in left_groups for value in group]
+        right = [value for group in right_groups for value in group]
         if not left or not right:
             report.notes.append(f"{metric}: skipped (no samples)")
             continue
-        ks = ks_2sample(left, right)
+        deff_left = design_effect(left_groups)
+        deff_right = design_effect(right_groups)
+        ks = ks_2sample(
+            left,
+            right,
+            n_eff1=len(left) / deff_left,
+            n_eff2=len(right) / deff_right,
+        )
         report.comparisons.append(
             MetricComparison(
                 metric=metric,
@@ -231,7 +300,8 @@ def compare_result_sets(
                 passed=ks.p_value > alpha,
                 detail=(
                     f"D={ks.statistic:.4f}, p={ks.p_value:.4f} "
-                    f"(n={ks.n1}/{ks.n2}, alpha={alpha})"
+                    f"(n={ks.n1}/{ks.n2}, "
+                    f"deff={deff_left:.1f}/{deff_right:.1f}, alpha={alpha})"
                 ),
             )
         )

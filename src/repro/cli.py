@@ -427,6 +427,20 @@ def _backend_builder(args: argparse.Namespace, parser: argparse.ArgumentParser):
     return build_backend
 
 
+def _fallback_histogram(plan, summary) -> dict[str, int]:
+    """Aggregate fallback reasons into a reason -> spec-count histogram.
+
+    Identical reasons repeat per group on large plans; the histogram
+    surfaces "how much falls back, and why" at a glance.
+    """
+    histogram: dict[str, int] = {}
+    for group_id, reason in summary["fallback_groups"].items():
+        histogram[reason] = histogram.get(reason, 0) + len(
+            plan.groups[group_id].spec_indices
+        )
+    return dict(sorted(histogram.items(), key=lambda item: (-item[1], item[0])))
+
+
 def _vectorization_payload(plan) -> dict[str, object]:
     """JSON-friendly vectorization summary of one sweep plan."""
     summary = plan.vector_summary()
@@ -442,6 +456,15 @@ def _vectorization_payload(plan) -> dict[str, object]:
                 "reason": reason,
             }
             for group_id, reason in sorted(summary["fallback_groups"].items())
+        ],
+        "fallback_histogram": _fallback_histogram(plan, summary),
+        "mega_exclusions": [
+            {
+                "group": group_id,
+                "protocol": plan.groups[group_id].protocol_name,
+                "reason": reason,
+            }
+            for group_id, reason in sorted(summary["mega_exclusions"].items())
         ],
     }
 
@@ -483,6 +506,11 @@ def _print_vectorization_table(label: str, plan, scale: str) -> None:
             + "  "
             + row[4]
         )
+    histogram = _fallback_histogram(plan, summary)
+    if histogram:
+        print("  fallback reasons (spec counts):")
+        for reason, count in histogram.items():
+            print(f"    {count:>4}  {reason}")
     print()
 
 
@@ -661,6 +689,23 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     return 0
 
 
+def _warn_on_majority_fallback(scenario, scale: str, seeds) -> None:
+    """One-line warning when a vector run is mostly serial in disguise."""
+    from repro.scenarios.runner import build_plan
+
+    plan = build_plan(scenario, scale, seeds)
+    summary = plan.vector_summary()
+    total = summary["total_specs"]
+    fallback_specs = total - summary["vectorizable_specs"]
+    if total and fallback_specs * 2 > total:
+        histogram = _fallback_histogram(plan, summary)
+        top_reason = next(iter(histogram))
+        print(
+            f"[{scenario.scenario_id}] warning: {fallback_specs}/{total} jobs "
+            f"fall back to the serial engine (top reason: {top_reason})"
+        )
+
+
 def _command_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.scenarios.spec import ScenarioError, resolve_scenario
 
@@ -714,6 +759,8 @@ def _command_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser)
     out_dir = _prepare_out_dir(args.out, parser)
     _prepare_bench_out(args.bench_out, parser)
     for scenario in scenarios:
+        if args.backend == "vector":
+            _warn_on_majority_fallback(scenario, args.scale, seeds)
         backend = build_backend()
         try:
             started = time.perf_counter()

@@ -49,7 +49,14 @@ def _cached_group_key(job: Any) -> Any | None:
     """
     if job.vector_support() is not None:
         return None
-    return (job.protocol, job.adversary, job.max_slots, job.stop_when_drained)
+    return (
+        job.protocol,
+        job.adversary,
+        job.max_slots,
+        job.stop_when_drained,
+        job.collect_trace,
+        job.collect_potential,
+    )
 
 
 def _qualname(instance: Any) -> str:
@@ -68,11 +75,15 @@ def _cached_mega_key(job: Any) -> Any | None:
     the whole schedule is identical, so their canonical identity (the
     same ``scheduled_identity`` the engine's ``from_spec_groups``
     validation compares) joins the key.  ``None`` when the job cannot
-    vectorize at all.
+    vectorize at all, or when it vectorizes but carries a named mega-batch
+    exclusion (``mega_batch_exclusion``) — trace/potential outputs and
+    backlog-coupled adversaries run in their own lockstep batch.
     """
-    from repro.sim.vector.support import scheduled_identity
+    from repro.sim.vector.support import mega_batch_exclusion, scheduled_identity
 
     if job.vector_support() is not None:
+        return None
+    if mega_batch_exclusion(job) is not None:
         return None
     config = job.build_config()
     adversary = config.adversary

@@ -302,8 +302,10 @@ class SweepPlan:
         identical configurations pays for each only once.
         """
         from repro.exec.vector_backend import vector_group_key, vector_mega_key
+        from repro.sim.vector.support import mega_batch_exclusion
 
         reasons: dict[int, str] = {}
+        mega_exclusions: dict[int, str] = {}
         vectorizable_specs = 0
         group_keys: set[Any] = set()
         mega_keys: set[Any] = set()
@@ -320,6 +322,9 @@ class SweepPlan:
                 mega_keys.add(
                     mega_key if mega_key is not None else ("group", group.group_id)
                 )
+                exclusion = mega_batch_exclusion(spec)
+                if exclusion is not None:
+                    mega_exclusions[group.group_id] = exclusion
             else:
                 reasons[group.group_id] = reason
         return {
@@ -328,6 +333,7 @@ class SweepPlan:
             "vector_groups": len(group_keys),
             "mega_batches": len(mega_keys),
             "fallback_groups": reasons,
+            "mega_exclusions": mega_exclusions,
         }
 
 

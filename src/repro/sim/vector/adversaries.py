@@ -12,16 +12,33 @@ array operations against state the engine already tracks (budget counters,
 the pre-injection backlog), mirroring the scalar semantics exactly: the
 decision for slot ``t`` sees the state at the end of slot ``t − 1``, and a
 budget unit is spent only when a jam actually happens.
+
+State-coupled adversaries close a **lockstep feedback loop** with the
+engine instead of precomputing anything:
+
+* **adaptive** jammers (:class:`AdaptiveContentionJammerVector`) receive the
+  pre-injection contention row vector each slot via :meth:`set_contention`;
+* **reactive** jammers see the slot's sender matrix through
+  :meth:`reactive_jam`, called after packet decisions but before channel
+  resolution — exactly the scalar engine's step 3;
+* **backlog-coupled** arrivals (:class:`BacklogCouplingArrivalsVector`)
+  compute per-slot injections from the live pre-injection backlog array
+  (``coupled = True`` tells the engine to skip the chunked precompute).
+
+All three read only ``(R,)`` state the engine already owns, so the per-slot
+cost stays a fixed number of array operations.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
+from repro.adversary.adaptive import BacklogCouplingAdversary
 from repro.adversary.arrivals import (
+    AdversarialQueueingArrivals,
     ArrivalProcess,
     BatchArrivals,
     NoArrivals,
@@ -29,11 +46,15 @@ from repro.adversary.arrivals import (
     PoissonArrivals,
 )
 from repro.adversary.jamming import (
+    AdaptiveContentionJammer,
     BernoulliJamming,
+    BudgetedRandomJamming,
     BurstJamming,
     Jammer,
     NoJamming,
     PeriodicJamming,
+    ReactiveSuccessJammer,
+    ReactiveTargetedJammer,
 )
 from repro.adversary.scheduled import ScheduledArrivals, ScheduledJamming
 from repro.sim.vector.rng import VectorStreams
@@ -50,6 +71,10 @@ CHUNK_SLOTS = 512
 class VectorArrivals(abc.ABC):
     """Chunked arrival schedule for one batch."""
 
+    #: True for schedules whose injections read the live backlog: the engine
+    #: then calls :meth:`arrivals_now` each slot instead of :meth:`chunk`.
+    coupled: bool = False
+
     def __init__(self, replications: int) -> None:
         self.replications = replications
 
@@ -57,9 +82,25 @@ class VectorArrivals(abc.ABC):
     def chunk(self, start: int, count: int, streams: VectorStreams) -> np.ndarray:
         """Arrival counts for slots ``start .. start+count-1`` as ``(R, count)``."""
 
+    def arrivals_now(
+        self, slot: int, backlog_pre: np.ndarray, running: np.ndarray
+    ) -> np.ndarray:
+        """Per-slot arrival counts for coupled schedules (``coupled = True``)."""
+        raise NotImplementedError
+
     @abc.abstractmethod
     def exhausted(self, slot: int) -> bool:
         """True when no packet can arrive at ``slot`` or later (all reps)."""
+
+    def exhausted_rows(self, slot: int) -> np.ndarray | None:
+        """Per-replication exhaustion mask, or ``None`` when uniform.
+
+        Oblivious schedules exhaust at the same slot in every replication,
+        so they return ``None`` and the engine uses :meth:`exhausted`;
+        coupled schedules exhaust per row (each replication spends its
+        packet budget on its own trajectory).
+        """
+        return None
 
     def capacity_bound(self) -> int | None:
         """Upper bound on total arrivals per replication, if known."""
@@ -177,6 +218,131 @@ class ScheduledArrivalsVector(VectorArrivals):
         return self._process.total_planned()
 
 
+class AdversarialQueueingArrivalsVector(VectorArrivals):
+    """(λ, S)-bounded adversarial-queuing schedule, chunked per window.
+
+    ``front`` and ``uniform`` placements are deterministic, so one window
+    plan (mirroring the scalar ``_plan_window`` exactly, including the
+    ``int(k * stride)`` remainder spreading) broadcasts across rows.
+    ``random`` placement draws each window's plan lazily per replication
+    from the adversary generators — a different RNG than the scalar
+    ``random.Random``, which is within the vector engine's statistical
+    contract.  Windows can span chunk boundaries, so drawn plans are cached
+    until the chunk grid moves past them.
+    """
+
+    def __init__(
+        self, process: AdversarialQueueingArrivals, replications: int
+    ) -> None:
+        super().__init__(replications)
+        self._process = process
+        self._granularity = process.granularity
+        self._budget = process.arrivals_per_window
+        self._placement = process.placement
+        self._horizon = process.horizon
+        self._row_plan: np.ndarray | None = None
+        self._plans: dict[int, np.ndarray] = {}
+        if process.placement != "random":
+            self._row_plan = self._deterministic_plan()
+
+    def _deterministic_plan(self) -> np.ndarray:
+        plan = np.zeros(self._granularity, dtype=np.int64)
+        budget = self._budget
+        if budget <= 0:
+            return plan
+        if self._placement == "front":
+            plan[0] = budget
+        else:  # uniform
+            base, remainder = divmod(budget, self._granularity)
+            plan[:] = base
+            stride = self._granularity / remainder if remainder else 0.0
+            for k in range(remainder):
+                plan[int(k * stride)] += 1
+        return plan
+
+    def _window_plan(self, window: int, streams: VectorStreams) -> np.ndarray:
+        plans = self._plans
+        counts = plans.get(window)
+        if counts is None:
+            counts = np.zeros((self.replications, self._granularity), dtype=np.int64)
+            for index, generator in enumerate(streams.adversary_generators):
+                hits = generator.integers(0, self._granularity, size=self._budget)
+                np.add.at(counts[index], hits, 1)
+            plans[window] = counts
+        return counts
+
+    def chunk(self, start: int, count: int, streams: VectorStreams) -> np.ndarray:
+        counts = np.zeros((self.replications, count), dtype=np.int64)
+        if self._budget > 0:
+            granularity = self._granularity
+            first = start // granularity
+            last = (start + count - 1) // granularity
+            for window in range(first, last + 1):
+                window_start = window * granularity
+                low = max(start, window_start)
+                high = min(start + count, window_start + granularity)
+                if self._row_plan is not None:
+                    segment = self._row_plan[low - window_start : high - window_start]
+                else:
+                    plan = self._window_plan(window, streams)
+                    segment = plan[:, low - window_start : high - window_start]
+                counts[:, low - start : high - start] = segment
+            for stale in [w for w in self._plans if w < first]:
+                del self._plans[stale]
+        if self._horizon is not None and start + count > self._horizon:
+            counts[:, max(0, self._horizon - start) :] = 0
+        return counts
+
+    def exhausted(self, slot: int) -> bool:
+        return self._process.exhausted(slot)
+
+    def capacity_bound(self) -> int | None:
+        return self._process.total_planned()
+
+
+class BacklogCouplingArrivalsVector(VectorArrivals):
+    """Injection half of :class:`BacklogCouplingAdversary`: top up the backlog.
+
+    Each slot injects ``min(target_backlog − backlog, remaining budget)``
+    packets per replication (clipped at zero), reading the same
+    pre-injection backlog array the jamming half sees — the coupling that
+    makes the schedule impossible to precompute.  Exhaustion is per row:
+    every replication spends its ``total_packets`` budget on its own
+    backlog trajectory.
+    """
+
+    coupled = True
+
+    def __init__(self, adversary: BacklogCouplingAdversary, replications: int) -> None:
+        super().__init__(replications)
+        self._target = int(adversary.target_backlog)
+        self._total = int(adversary.total_packets)
+        self._injected = np.zeros(replications, dtype=np.int64)
+
+    def chunk(self, start: int, count: int, streams: VectorStreams) -> np.ndarray:
+        raise RuntimeError(
+            "backlog-coupled arrivals are computed per slot (arrivals_now)"
+        )
+
+    def arrivals_now(
+        self, slot: int, backlog_pre: np.ndarray, running: np.ndarray
+    ) -> np.ndarray:
+        counts = np.minimum(self._target - backlog_pre, self._total - self._injected)
+        np.clip(counts, 0, None, out=counts)
+        counts[~running] = 0
+        self._injected += counts
+        return counts
+
+    def exhausted(self, slot: int) -> bool:
+        return bool(np.all(self._injected >= self._total))
+
+    def exhausted_rows(self, slot: int) -> np.ndarray:
+        return self._injected >= self._total
+
+    def capacity_bound(self) -> int:
+        return self._total
+
+
 # ---------------------------------------------------------------------------
 # Jamming kernels
 # ---------------------------------------------------------------------------
@@ -221,6 +387,14 @@ class VectorJammer(abc.ABC):
     #: engine skip the jam masks entirely on the common unjammed path).
     never_jams: bool = False
 
+    #: True when the kernel decides after seeing the slot's senders: the
+    #: engine calls :meth:`reactive_jam` once the send masks are known.
+    reactive: bool = False
+
+    #: True when jam decisions read the pre-injection contention C(t): the
+    #: engine calls :meth:`set_contention` each slot before :meth:`jam`.
+    needs_contention: bool = False
+
     #: Sentinel for "no budget" rows when budgets are promoted per row.
     _NO_BUDGET = np.iinfo(np.int64).max
 
@@ -259,6 +433,33 @@ class VectorJammer(abc.ABC):
         state an adaptive jammer sees); ``running`` masks replications whose
         execution already ended, which therefore make no decisions at all.
         """
+
+    def set_contention(self, contention: np.ndarray) -> None:
+        """Receive the pre-injection contention per replication (``(R,)``).
+
+        Only called when ``needs_contention``; the values are what a scalar
+        adversary's ``SystemView.contention`` would report — the sum of the
+        active packets' sending probabilities before this slot's injections.
+        """
+
+    def reactive_jam(
+        self,
+        slot: int,
+        send: np.ndarray,
+        num_senders: np.ndarray,
+        backlog_pre: np.ndarray,
+        running: np.ndarray,
+        arrival_slot: np.ndarray,
+        jammed: np.ndarray,
+    ) -> np.ndarray:
+        """Reactive decisions after the slot's senders are known.
+
+        ``send`` is the raw ``(R, P)`` sender matrix (winners not yet
+        removed), ``num_senders`` its per-row counts, and ``jammed`` the
+        adaptive decisions already made; the return value replaces
+        ``jammed``.  Only called when ``reactive``.
+        """
+        return jammed
 
     def jams_used(self) -> np.ndarray:
         return self._used.copy()
@@ -365,6 +566,201 @@ class BernoulliJammingVector(VectorJammer):
         return self._apply_budget(decisions)
 
 
+class BudgetedRandomJammingVector(VectorJammer):
+    """Spend a jamming budget uniformly at random before ``horizon``.
+
+    Like :class:`BernoulliJammingVector`, uniforms are pre-drawn per chunk
+    from the per-replication adversary generators (a different stream than
+    the scalar ``random.Random`` — the statistical contract); the jam
+    probability per row is ``budget / horizon``, gated on the horizon and
+    the budget counter.
+    """
+
+    def __init__(self, pairs: JammerRows) -> None:
+        super().__init__(pairs)
+        self._horizon = _jam_param(pairs, lambda j: j.horizon)
+        self._probability = _jam_param(pairs, lambda j: (j.budget or 0) / j.horizon)
+        self._chunk_start = 0
+        self._uniforms: np.ndarray | None = None
+
+    def begin_chunk(
+        self,
+        start: int,
+        count: int,
+        streams: VectorStreams,
+        running: np.ndarray | None = None,
+    ) -> None:
+        if self._uniforms is None or self._uniforms.shape[1] != count:
+            self._uniforms = np.empty((self.replications, count), dtype=np.float64)
+        for index, generator in enumerate(streams.adversary_generators):
+            if running is None or running[index]:
+                self._uniforms[index] = generator.random(count)
+        self._chunk_start = start
+
+    def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
+        if not isinstance(self._horizon, np.ndarray) and slot >= self._horizon:
+            return self._false
+        assert self._uniforms is not None, "begin_chunk must precede jam"
+        draws = self._uniforms[:, slot - self._chunk_start] < self._probability
+        decisions = draws & running
+        if isinstance(self._horizon, np.ndarray):
+            decisions &= slot < self._horizon
+        return self._apply_budget(decisions)
+
+
+class AdaptiveContentionJammerVector(VectorJammer):
+    """Adaptive strategy: jam rows whose contention is in a target regime.
+
+    The lockstep feedback loop hands the kernel each slot's pre-injection
+    contention row vector (:meth:`set_contention`) — the same C(t) the
+    scalar jammer reads from its ``SystemView`` — and the decision is an
+    elementwise regime test gated on a non-empty backlog and the budget.
+    """
+
+    needs_contention = True
+
+    _REGIME_CODES = {"low": 0, "good": 1, "high": 2, "any": 3}
+
+    def __init__(self, pairs: JammerRows) -> None:
+        super().__init__(pairs)
+        self._c_low = _jam_param(pairs, lambda j: j.c_low)
+        self._c_high = _jam_param(pairs, lambda j: j.c_high)
+        regimes = [jammer.target_regime for jammer, _ in pairs]
+        if all(regime == regimes[0] for regime in regimes):
+            self._regime: str | np.ndarray = regimes[0]
+        else:
+            self._regime = np.repeat(
+                np.asarray([self._REGIME_CODES[regime] for regime in regimes]),
+                [count for _, count in pairs],
+            )
+        self._contention: np.ndarray | None = None
+
+    def set_contention(self, contention: np.ndarray) -> None:
+        self._contention = contention
+
+    def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
+        contention = self._contention
+        assert contention is not None, "set_contention must precede jam"
+        regime = self._regime
+        if isinstance(regime, str):
+            if regime == "low":
+                in_target = contention < self._c_low
+            elif regime == "good":
+                in_target = (self._c_low <= contention) & (contention <= self._c_high)
+            elif regime == "high":
+                in_target = contention > self._c_high
+            else:  # any
+                in_target = None
+        else:
+            in_target = np.choose(
+                regime,
+                [
+                    contention < self._c_low,
+                    (self._c_low <= contention) & (contention <= self._c_high),
+                    contention > self._c_high,
+                    np.ones(self.replications, dtype=bool),
+                ],
+            )
+        decisions = running & (backlog_pre > 0)
+        if in_target is not None:
+            decisions &= in_target
+        return self._apply_budget(decisions)
+
+
+class ReactiveTargetedJammerVector(VectorJammer):
+    """Reactive strategy: jam whenever the targeted packet transmits.
+
+    The scalar jammer identifies its target from the pre-injection active
+    set and then jams every slot the target sends; because packet ids are
+    arrival-ordered column indices here, that reduces to the target column
+    of the sender matrix, gated on ``arrival_slot < slot`` — a packet that
+    arrives and would win in the same slot is never identified (the scalar
+    jammer only sees it pre-injection), so its arrival-slot sends go
+    unjammed, exactly as in the scalar engine.
+    """
+
+    reactive = True
+
+    def __init__(self, pairs: JammerRows) -> None:
+        super().__init__(pairs)
+        self._target = _jam_param(pairs, lambda j: j.target_index)
+        self._rows = np.arange(self.replications)
+
+    def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
+        return self._false
+
+    def reactive_jam(
+        self,
+        slot: int,
+        send: np.ndarray,
+        num_senders: np.ndarray,
+        backlog_pre: np.ndarray,
+        running: np.ndarray,
+        arrival_slot: np.ndarray,
+        jammed: np.ndarray,
+    ) -> np.ndarray:
+        capacity = send.shape[1]
+        target = self._target
+        if not isinstance(target, np.ndarray):
+            if target >= capacity:
+                return jammed
+            target_sends = send[:, target]
+            target_known = arrival_slot[:, target] < slot
+        else:
+            in_range = target < capacity
+            safe = np.minimum(target, capacity - 1)
+            target_sends = send[self._rows, safe] & in_range
+            target_known = arrival_slot[self._rows, safe] < slot
+        decisions = target_sends & target_known & running & ~jammed
+        decisions = self._apply_budget(decisions)
+        return jammed | decisions
+
+
+class ReactiveSuccessJammerVector(VectorJammer):
+    """Reactive strategy: jam every slot that would otherwise be a success."""
+
+    reactive = True
+
+    def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
+        return self._false
+
+    def reactive_jam(
+        self,
+        slot: int,
+        send: np.ndarray,
+        num_senders: np.ndarray,
+        backlog_pre: np.ndarray,
+        running: np.ndarray,
+        arrival_slot: np.ndarray,
+        jammed: np.ndarray,
+    ) -> np.ndarray:
+        decisions = (num_senders == 1) & running & ~jammed
+        decisions = self._apply_budget(decisions)
+        return jammed | decisions
+
+
+class BacklogCouplingJammingVector(VectorJammer):
+    """Jamming half of :class:`BacklogCouplingAdversary`: jam at backlog 1.
+
+    The budget lives on the adversary's ``jam_budget`` attribute (not
+    ``budget``), so the base promotion is overridden; a zero budget across
+    all rows degrades to a never-jamming kernel.
+    """
+
+    def __init__(self, pairs: JammerRows) -> None:
+        super().__init__(pairs)
+        budget = _jam_param(pairs, lambda j: j.jam_budget)
+        self._budget = budget
+        if not bool(np.any(np.asarray(budget))):
+            self.never_jams = True
+
+    def jam(self, slot: int, backlog_pre: np.ndarray, running: np.ndarray) -> np.ndarray:
+        if self.never_jams:
+            return self._false
+        decisions = running & (backlog_pre == 1)
+        return self._apply_budget(decisions)
+
+
 class ScheduledJammingVector(VectorJammer):
     """Piecewise schedule of jamming kernels with per-phase budgets.
 
@@ -418,7 +814,7 @@ class ScheduledJammingVector(VectorJammer):
 # ---------------------------------------------------------------------------
 
 
-def make_arrivals_kernel(process: ArrivalProcess, replications: int) -> VectorArrivals:
+def make_arrivals_kernel(process: Any, replications: int) -> VectorArrivals:
     if isinstance(process, ScheduledArrivals):
         return ScheduledArrivalsVector(process, replications)
     if isinstance(process, NoArrivals):
@@ -429,6 +825,10 @@ def make_arrivals_kernel(process: ArrivalProcess, replications: int) -> VectorAr
         return PoissonArrivalsVector(process, replications)
     if isinstance(process, PeriodicBurstArrivals):
         return PeriodicBurstArrivalsVector(process, replications)
+    if isinstance(process, AdversarialQueueingArrivals):
+        return AdversarialQueueingArrivalsVector(process, replications)
+    if isinstance(process, BacklogCouplingAdversary):
+        return BacklogCouplingArrivalsVector(process, replications)
     raise TypeError(f"no vector schedule for arrival process {type(process).__name__}")
 
 
@@ -457,6 +857,16 @@ def make_row_jammer_kernel(pairs: JammerRows) -> VectorJammer:
         return BurstJammingVector(pairs)
     if isinstance(jammer, BernoulliJamming):
         return BernoulliJammingVector(pairs)
+    if isinstance(jammer, BudgetedRandomJamming):
+        return BudgetedRandomJammingVector(pairs)
+    if isinstance(jammer, AdaptiveContentionJammer):
+        return AdaptiveContentionJammerVector(pairs)
+    if isinstance(jammer, ReactiveTargetedJammer):
+        return ReactiveTargetedJammerVector(pairs)
+    if isinstance(jammer, ReactiveSuccessJammer):
+        return ReactiveSuccessJammerVector(pairs)
+    if isinstance(jammer, BacklogCouplingAdversary):
+        return BacklogCouplingJammingVector(pairs)
     raise TypeError(f"no vector kernel for jammer {type(jammer).__name__}")
 
 

@@ -45,13 +45,22 @@ Outcome codes used internally: 0 empty, 1 success, 2 collision, 3 jammed.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Sequence
 
 import numpy as np
 
+from repro.adversary.adaptive import BacklogCouplingAdversary
 from repro.adversary.arrivals import ArrivalProcess
 from repro.adversary.composite import CompositeAdversary
 from repro.adversary.jamming import Jammer
+from repro.channel.feedback import SlotOutcome
+from repro.channel.trace import ExecutionTrace, SlotRecord
+from repro.core.potential import (
+    PotentialCoefficients,
+    PotentialSample,
+    PotentialTracker,
+)
 from repro.metrics.collectors import MetricsCollector
 from repro.protocols.base import BackoffProtocol
 from repro.sim.results import PacketRecord, SimulationResult
@@ -68,27 +77,117 @@ from repro.sim.vector.support import (
     scheduled_identity,
 )
 
+#: Outcome-code → SlotOutcome lookup for trace materialisation.
+_OUTCOMES = (
+    SlotOutcome.EMPTY,
+    SlotOutcome.SUCCESS,
+    SlotOutcome.COLLISION,
+    SlotOutcome.JAMMED,
+)
+
+
+class _WindowTermCache:
+    """Memoised per-window potential terms, computed with ``math.log``.
+
+    The scalar :class:`PotentialTracker` computes ``1 / math.log(w)`` and
+    ``w / math.log(w) ** 2`` per window; ``np.log`` can differ from
+    ``math.log`` by an ulp on rare inputs, so bit-for-bit parity requires
+    routing every distinct window value through the exact same Python
+    float operations.  Window values repeat massively across cells and
+    slots (every cell walks the same discrete update lattice), so a sorted
+    key array plus ``searchsorted`` amortises the Python-level ``math.log``
+    calls to one per distinct value per run.
+    """
+
+    def __init__(self) -> None:
+        self._terms: dict[float, tuple[float, float]] = {}
+        self._keys = np.empty(0)
+        self._inverse_log = np.empty(0)
+        self._l = np.empty(0)
+
+    def _ensure(self, values: np.ndarray) -> None:
+        fresh = [
+            value for value in np.unique(values).tolist() if value not in self._terms
+        ]
+        if not fresh:
+            return
+        for value in fresh:
+            if value <= 1.0:
+                # Same contract as the scalar PotentialSample.h_term.
+                raise ValueError("potential tracking requires windows > 1")
+            log = math.log(value)
+            self._terms[value] = (1.0 / log, value / log**2)
+        keys = sorted(self._terms)
+        self._keys = np.array(keys)
+        self._inverse_log = np.array([self._terms[key][0] for key in keys])
+        self._l = np.array([self._terms[key][1] for key in keys])
+
+    def inverse_log(self, values: np.ndarray) -> np.ndarray:
+        """``1 / math.log(v)`` for each value (the H(t) contribution)."""
+        self._ensure(values)
+        return self._inverse_log[np.searchsorted(self._keys, values)]
+
+    def l_term(self, values: np.ndarray) -> np.ndarray:
+        """``v / math.log(v) ** 2`` for each value (the L(t) term)."""
+        self._ensure(values)
+        return self._l[np.searchsorted(self._keys, values)]
+
 
 class _SlotRecorder:
-    """Growable ``(slots × replications)`` per-slot observation buffers."""
+    """Growable ``(slots × replications)`` per-slot observation buffers.
 
-    def __init__(self, replications: int, initial_slots: int = 1024) -> None:
+    The base buffers feed metric finalisation; the optional trace buffers
+    (per-slot winner column and pre-injection contention) and potential
+    buffers (H, L, Σ1/w, Φ) are only allocated when the batch collects the
+    corresponding vectorized outputs.
+    """
+
+    _BASE_FIELDS = (
+        ("outcome", np.int8, 0),
+        ("jammed", bool, False),
+        ("arrivals", np.int32, 0),
+        ("active_before", np.int32, 0),
+        ("active_after", np.int32, 0),
+        ("num_senders", np.int32, 0),
+    )
+    _TRACE_FIELDS = (
+        ("winner", np.int64, -1),
+        ("contention", np.float64, 0.0),
+    )
+    _POTENTIAL_FIELDS = (
+        ("h_term", np.float64, 0.0),
+        ("l_term", np.float64, 0.0),
+        ("inverse_window_sum", np.float64, 0.0),
+        ("potential", np.float64, 0.0),
+    )
+
+    def __init__(
+        self,
+        replications: int,
+        initial_slots: int = 1024,
+        *,
+        trace: bool = False,
+        potential: bool = False,
+    ) -> None:
         self._replications = replications
         self._capacity = max(1, initial_slots)
-        self.outcome = np.zeros((self._capacity, replications), dtype=np.int8)
-        self.jammed = np.zeros((self._capacity, replications), dtype=bool)
-        self.arrivals = np.zeros((self._capacity, replications), dtype=np.int32)
-        self.active_before = np.zeros((self._capacity, replications), dtype=np.int32)
-        self.active_after = np.zeros((self._capacity, replications), dtype=np.int32)
-        self.num_senders = np.zeros((self._capacity, replications), dtype=np.int32)
+        self._fields = list(self._BASE_FIELDS)
+        if trace:
+            self._fields += list(self._TRACE_FIELDS)
+        if potential:
+            self._fields += list(self._POTENTIAL_FIELDS)
+        for name, dtype, fill in self._fields:
+            setattr(self, name, self._alloc(self._capacity, dtype, fill))
+
+    def _alloc(self, capacity: int, dtype, fill) -> np.ndarray:
+        buffer = np.full((capacity, self._replications), fill, dtype=dtype)
+        return buffer
 
     def _grow(self, needed: int) -> None:
         new_capacity = max(needed, self._capacity * 2)
-        for name in (
-            "outcome", "jammed", "arrivals", "active_before", "active_after", "num_senders"
-        ):
+        for name, dtype, fill in self._fields:
             old = getattr(self, name)
-            grown = np.zeros((new_capacity, self._replications), dtype=old.dtype)
+            grown = self._alloc(new_capacity, dtype, fill)
             grown[: self._capacity] = old
             setattr(self, name, grown)
         self._capacity = new_capacity
@@ -111,6 +210,23 @@ class _SlotRecorder:
         self.active_before[slot] = active_before
         self.active_after[slot] = active_after
         self.num_senders[slot] = num_senders
+
+    def record_trace(self, slot: int, winner: np.ndarray, contention: np.ndarray) -> None:
+        self.winner[slot] = winner
+        self.contention[slot] = contention
+
+    def record_potential(
+        self,
+        slot: int,
+        h_term: np.ndarray,
+        l_term: np.ndarray,
+        inverse_window_sum: np.ndarray,
+        potential: np.ndarray,
+    ) -> None:
+        self.h_term[slot] = h_term
+        self.l_term[slot] = l_term
+        self.inverse_window_sum[slot] = inverse_window_sum
+        self.potential[slot] = potential
 
 
 class _GroupConfig:
@@ -186,6 +302,9 @@ class VectorSimulator:
         *,
         max_slots: int = 200_000,
         stop_when_drained: bool = True,
+        collect_trace: bool = False,
+        collect_potential: bool = False,
+        potential_coefficients: PotentialCoefficients | None = None,
         config_descriptions: Sequence[dict[str, Any]] | None = None,
     ) -> None:
         if not seeds:
@@ -194,7 +313,14 @@ class VectorSimulator:
             raise ValueError("max_slots must be positive")
         reason = protocol_support(protocol)
         if reason is None:
-            reason = adversary_support(CompositeAdversary(arrival_process, jammer))
+            if arrival_process is jammer and isinstance(
+                arrival_process, BacklogCouplingAdversary
+            ):
+                # A coupled adversary occupies both roles: its injection and
+                # jamming kernels share the live backlog array.
+                reason = adversary_support(arrival_process)
+            else:
+                reason = adversary_support(CompositeAdversary(arrival_process, jammer))
         if reason is not None:
             raise ValueError(f"configuration cannot vectorize: {reason}")
         seed_list = [int(seed) for seed in seeds]
@@ -205,7 +331,14 @@ class VectorSimulator:
         else:
             descriptions = [
                 self._default_description(
-                    protocol, arrival_process, jammer, seed, max_slots, stop_when_drained
+                    protocol,
+                    arrival_process,
+                    jammer,
+                    seed,
+                    max_slots,
+                    stop_when_drained,
+                    collect_trace,
+                    collect_potential,
                 )
                 for seed in seed_list
             ]
@@ -214,6 +347,13 @@ class VectorSimulator:
         ]
         self._max_slots = max_slots
         self._stop_when_drained = stop_when_drained
+        self._collect_trace = collect_trace
+        self._collect_potential = collect_potential
+        self._potential_coefficients = (
+            potential_coefficients
+            if potential_coefficients is not None
+            else PotentialCoefficients()
+        )
 
     # -- Construction ---------------------------------------------------------
 
@@ -224,12 +364,22 @@ class VectorSimulator:
         All specs must share everything but the seed (which is exactly what
         :meth:`~repro.exec.vector_backend.VectorBackend` groups by).
         """
-        group, max_slots, stop_when_drained = cls._group_from_specs(specs)
+        group, options = cls._group_from_specs(specs)
         simulator = cls.__new__(cls)
         simulator._groups = [group]
-        simulator._max_slots = max_slots
-        simulator._stop_when_drained = stop_when_drained
+        simulator._apply_options(options)
         return simulator
+
+    def _apply_options(
+        self, options: tuple[int, bool, bool, bool, PotentialCoefficients]
+    ) -> None:
+        (
+            self._max_slots,
+            self._stop_when_drained,
+            self._collect_trace,
+            self._collect_potential,
+            self._potential_coefficients,
+        ) = options
 
     @classmethod
     def from_spec_groups(cls, spec_groups: Sequence[Sequence[Any]]) -> "VectorSimulator":
@@ -246,15 +396,25 @@ class VectorSimulator:
         if not spec_groups:
             raise ValueError("at least one spec group is required")
         built = [cls._group_from_specs(specs) for specs in spec_groups]
-        groups = [group for group, _, _ in built]
-        max_slots = built[0][1]
-        stop_when_drained = built[0][2]
+        groups = [group for group, _ in built]
+        options = built[0][1]
         first = groups[0]
-        for group, group_max_slots, group_stop in built[1:]:
-            if group_max_slots != max_slots or group_stop != stop_when_drained:
+        if len(groups) > 1:
+            if options[2] or options[3]:
                 raise ValueError(
-                    "mega-batched groups must share max_slots and "
-                    "stop_when_drained"
+                    "trace and potential outputs are materialized per "
+                    "lockstep batch; such groups cannot mega-batch"
+                )
+            if isinstance(first.arrival_process, BacklogCouplingAdversary):
+                raise ValueError(
+                    "backlog-coupled adversaries read the live backlog each "
+                    "slot; such groups cannot mega-batch"
+                )
+        for group, group_options in built[1:]:
+            if group_options != options:
+                raise ValueError(
+                    "mega-batched groups must share max_slots, "
+                    "stop_when_drained, and collection options"
                 )
             for mine, theirs, label in (
                 (first.protocol, group.protocol, "protocol"),
@@ -273,29 +433,39 @@ class VectorSimulator:
                     )
         simulator = cls.__new__(cls)
         simulator._groups = groups
-        simulator._max_slots = max_slots
-        simulator._stop_when_drained = stop_when_drained
+        simulator._apply_options(options)
         return simulator
 
     @classmethod
     def _group_from_specs(
         cls, specs: Sequence[Any]
-    ) -> tuple[_GroupConfig, int, bool]:
+    ) -> tuple[_GroupConfig, tuple[int, bool, bool, bool, PotentialCoefficients]]:
         if not specs:
             raise ValueError("at least one spec is required")
         configs = [spec.build_config() for spec in specs]
         first = configs[0]
         adversary = first.adversary
-        if not isinstance(adversary, CompositeAdversary):
-            raise ValueError("vector batches require a CompositeAdversary")
+        if isinstance(adversary, BacklogCouplingAdversary):
+            # Coupled adversary: one instance fills both component roles.
+            arrival_process: Any = adversary
+            jammer: Any = adversary
+        elif isinstance(adversary, CompositeAdversary):
+            arrival_process = adversary.arrival_process
+            jammer = adversary.jammer
+        else:
+            raise ValueError(
+                "vector batches require a CompositeAdversary or a "
+                "BacklogCouplingAdversary"
+            )
         for config in configs[1:]:
             if (
                 config.protocol != first.protocol
                 or config.adversary.describe() != first.adversary.describe()
                 or config.max_slots != first.max_slots
                 or config.stop_when_drained != first.stop_when_drained
-                or config.collect_trace
-                or config.collect_potential
+                or config.collect_trace != first.collect_trace
+                or config.collect_potential != first.collect_potential
+                or config.potential_coefficients != first.potential_coefficients
             ):
                 raise ValueError(
                     "a vector batch must replicate one configuration: all "
@@ -309,12 +479,19 @@ class VectorSimulator:
             raise ValueError(f"configuration cannot vectorize: {reason}")
         group = _GroupConfig(
             first.protocol,
-            adversary.arrival_process,
-            adversary.jammer,
+            arrival_process,
+            jammer,
             [config.seed for config in configs],
             [config.describe() for config in configs],
         )
-        return group, first.max_slots, first.stop_when_drained
+        options = (
+            first.max_slots,
+            first.stop_when_drained,
+            first.collect_trace,
+            first.collect_potential,
+            first.potential_coefficients,
+        )
+        return group, options
 
     @staticmethod
     def _default_description(
@@ -324,16 +501,21 @@ class VectorSimulator:
         seed: int,
         max_slots: int,
         stop_when_drained: bool,
+        collect_trace: bool = False,
+        collect_potential: bool = False,
     ) -> dict[str, Any]:
-        adversary = CompositeAdversary(arrival_process, jammer)
+        if arrival_process is jammer:
+            adversary: Any = arrival_process
+        else:
+            adversary = CompositeAdversary(arrival_process, jammer)
         return {
             "protocol": protocol.describe(),
             "adversary": adversary.describe(),
             "seed": seed,
             "max_slots": max_slots,
             "stop_when_drained": stop_when_drained,
-            "collect_trace": False,
-            "collect_potential": False,
+            "collect_trace": collect_trace,
+            "collect_potential": collect_potential,
         }
 
     # -- Introspection --------------------------------------------------------
@@ -380,6 +562,22 @@ class VectorSimulator:
         )
         sensing = kernel.sensing
         track_listens = kernel.listens
+        reactive = jammer.reactive
+        needs_contention = jammer.needs_contention
+        collect_trace = self._collect_trace
+        collect_potential = self._collect_potential
+        # The lockstep feedback loop: pre-injection contention is computed
+        # when an adaptive jammer (or the trace) consumes it, mirroring the
+        # scalar engine's _track_contention gating.
+        want_contention = needs_contention or collect_trace
+        if any(seg.arrivals.coupled for seg in segments):
+            if multi:
+                raise ValueError(
+                    "backlog-coupled adversaries cannot share a mega-batch"
+                )
+            coupled_arrivals = segments[0].arrivals
+        else:
+            coupled_arrivals = None
 
         active = np.zeros((replications, capacity), dtype=bool)
         arrival_slot = np.full((replications, capacity), -1, dtype=np.int64)
@@ -392,7 +590,21 @@ class VectorSimulator:
         backlog = np.zeros(replications, dtype=np.int64)
         running = np.ones(replications, dtype=bool)
         num_slots = np.full(replications, max_slots, dtype=np.int64)
-        recorder = _SlotRecorder(replications)
+        recorder = _SlotRecorder(
+            replications, trace=collect_trace, potential=collect_potential
+        )
+
+        # Vectorized trace output: per-slot sender/listener index pairs
+        # (materialised into SlotRecords at finalisation).
+        trace_senders: list[tuple[np.ndarray, np.ndarray]] = []
+        trace_listeners: list[tuple[np.ndarray, np.ndarray]] = []
+        # Vectorized potential accumulator state.
+        has_windows = False
+        if collect_potential:
+            term_cache = _WindowTermCache()
+            coeffs = self._potential_coefficients
+            zero_row = np.zeros(replications)
+            has_windows = kernel.window_matrix() is not None
 
         # Per-replication arrival-exhaustion mask; monotone per segment, so
         # each segment's (pure) exhausted() is queried only until it flips.
@@ -429,24 +641,44 @@ class VectorSimulator:
                 chunk_start = slot
                 chunk_end = min(slot + CHUNK_SLOTS, max_slots)
                 count = chunk_end - chunk_start
-                if multi:
-                    arrivals_chunk = np.zeros((replications, count), dtype=np.int64)
-                    for seg in segments:
-                        if seg.live:
-                            arrivals_chunk[seg.rows] = seg.arrivals.chunk(
-                                chunk_start, count, seg.streams
-                            )
-                else:
-                    arrivals_chunk = segments[0].arrivals.chunk(
-                        chunk_start, count, segments[0].streams
-                    )
-                slot_has_arrivals = arrivals_chunk.any(axis=0).tolist()
+                if coupled_arrivals is None:
+                    if multi:
+                        arrivals_chunk = np.zeros((replications, count), dtype=np.int64)
+                        for seg in segments:
+                            if seg.live:
+                                arrivals_chunk[seg.rows] = seg.arrivals.chunk(
+                                    chunk_start, count, seg.streams
+                                )
+                    else:
+                        arrivals_chunk = segments[0].arrivals.chunk(
+                            chunk_start, count, segments[0].streams
+                        )
+                    slot_has_arrivals = arrivals_chunk.any(axis=0).tolist()
                 jammer.begin_chunk(chunk_start, count, streams, running)
-            assert arrivals_chunk is not None
 
             backlog_pre = backlog
-            if slot_has_arrivals[slot - chunk_start]:
+            if want_contention:
+                # Pre-injection contention with the *current* protocol state
+                # — exactly the scalar SystemView's C(t).  The cumulative sum
+                # reproduces the scalar's sequential ascending-id additions
+                # bitwise (inactive cells add +0.0, a float no-op).
+                probabilities = kernel.sending_probabilities()
+                contention_pre = (
+                    np.where(active, probabilities, 0.0).cumsum(axis=1)[:, -1]
+                )
+                if needs_contention:
+                    jammer.set_contention(contention_pre)
+            if coupled_arrivals is not None:
+                arriving = coupled_arrivals.arrivals_now(slot, backlog_pre, running)
+                inject = bool(arriving.any())
+            elif slot_has_arrivals[slot - chunk_start]:
+                assert arrivals_chunk is not None
                 arriving = arrivals_chunk[:, slot - chunk_start] * running
+                inject = True
+            else:
+                arriving = no_arrivals
+                inject = False
+            if inject:
                 total_after = injected + arriving
                 grew = False
                 if multi:
@@ -505,8 +737,6 @@ class VectorSimulator:
                 kernel.init_packets(newly)
                 injected = total_after
                 backlog = backlog + arriving
-            else:
-                arriving = no_arrivals
 
             active_before = backlog
             jammed = jammer.jam(slot, backlog_pre, running)
@@ -534,6 +764,18 @@ class VectorSimulator:
                 send &= active
             num_senders = np.count_nonzero(send, axis=1)
             total_senders = int(num_senders.sum())
+            if reactive:
+                # Step 3 of the scalar slot order: the reactive jammer sees
+                # this slot's senders before the channel resolves.
+                jammed = jammer.reactive_jam(
+                    slot, send, num_senders, backlog_pre, running, arrival_slot, jammed
+                )
+            if collect_trace:
+                # Captured before winner removal, so the winner is included
+                # among the senders — as in the scalar SlotRecord.
+                trace_senders.append(np.nonzero(send))
+                if sensing:
+                    trace_listeners.append(np.nonzero(listen))
             if never_jams:
                 winners = running & (num_senders == 1)
             else:
@@ -549,6 +791,10 @@ class VectorSimulator:
                 departure_slot[winner_rows, winner_cols] = slot
                 # The remaining senders are the losers of the slot.
                 send[winner_rows, winner_cols] = False
+            if collect_trace:
+                winner_column = np.full(replications, -1, dtype=np.int64)
+                if winner_rows.size:
+                    winner_column[winner_rows] = winner_cols
             if sensing:
                 # Per-replication ternary feedback: what every accessor of
                 # that replication's channel heard this slot.  Winners are
@@ -572,14 +818,52 @@ class VectorSimulator:
             recorder.record(
                 slot, outcome, jammed, arriving, active_before, backlog, num_senders
             )
+            if collect_trace:
+                recorder.record_trace(slot, winner_column, contention_pre)
+            if collect_potential:
+                # Scalar step 5: Φ is sampled after feedback updates and the
+                # winner's departure, from post-slot windows and backlog.
+                if not has_windows:
+                    recorder.record_potential(slot, zero_row, zero_row, zero_row, zero_row)
+                else:
+                    windows = kernel.window_matrix()
+                    inverse_log = np.zeros_like(windows)
+                    values = windows[active]
+                    if values.size:
+                        inverse_log[active] = term_cache.inverse_log(values)
+                    h_row = inverse_log.cumsum(axis=1)[:, -1]
+                    inverse_sum = (
+                        np.where(active, 1.0 / windows, 0.0).cumsum(axis=1)[:, -1]
+                    )
+                    occupied = backlog > 0
+                    l_row = np.zeros(replications)
+                    if occupied.any():
+                        peak = np.where(active, windows, -np.inf).max(axis=1)
+                        l_row[occupied] = term_cache.l_term(peak[occupied])
+                    phi = np.where(
+                        occupied,
+                        coeffs.alpha1 * backlog
+                        + coeffs.alpha2 * h_row
+                        + coeffs.alpha3 * l_row,
+                        0.0,
+                    )
+                    recorder.record_potential(slot, h_row, l_row, inverse_sum, phi)
 
             slot += 1
             if stop_when_drained:
                 for seg in segments:
-                    if seg.live and not seg.exhausted and seg.arrivals.exhausted(slot):
-                        seg.exhausted = True
-                        exhausted_rows[seg.rows] = True
-                        any_exhausted = True
+                    if seg.live and not seg.exhausted:
+                        per_row = seg.arrivals.exhausted_rows(slot)
+                        if per_row is None:
+                            if seg.arrivals.exhausted(slot):
+                                seg.exhausted = True
+                                exhausted_rows[seg.rows] = True
+                                any_exhausted = True
+                        elif per_row.any():
+                            exhausted_rows[seg.rows] = per_row
+                            any_exhausted = True
+                            if per_row.all():
+                                seg.exhausted = True
                 if any_exhausted:
                     finished = running & exhausted_rows & (backlog == 0)
                     if finished.any():
@@ -594,6 +878,7 @@ class VectorSimulator:
         return self._finalize(
             recorder, num_slots, backlog, segments, injected,
             arrival_slot, departure_slot, sends, listens,
+            trace_senders, trace_listeners, has_windows,
         )
 
     # -- Finalisation --------------------------------------------------------
@@ -609,6 +894,9 @@ class VectorSimulator:
         departure_slot: np.ndarray,
         sends: np.ndarray,
         listens: np.ndarray | None,
+        trace_senders: list[tuple[np.ndarray, np.ndarray]],
+        trace_listeners: list[tuple[np.ndarray, np.ndarray]],
+        has_windows: bool,
     ) -> list[SimulationResult]:
         descriptions = [
             description for group in self._groups for description in group.descriptions
@@ -667,16 +955,124 @@ class VectorSimulator:
                         )
                     )
 
+                trace = None
+                if self._collect_trace:
+                    trace = self._materialize_trace(
+                        recorder,
+                        index,
+                        slots,
+                        trace_senders,
+                        trace_listeners,
+                    )
+                potential = None
+                if self._collect_potential:
+                    potential = self._materialize_potential(
+                        recorder, index, slots, active_after, has_windows
+                    )
+
+                per_row_exhausted = seg.arrivals.exhausted_rows(slots)
+                if per_row_exhausted is None:
+                    arrivals_done = seg.arrivals.exhausted(slots)
+                else:
+                    arrivals_done = bool(
+                        per_row_exhausted[index - seg.rows.start]
+                    )
                 results.append(
                     SimulationResult(
                         config_description=descriptions[index],
                         protocol_name=protocol_names[index],
                         seed=seeds[index],
                         num_slots=slots,
-                        drained=bool(backlog[index] == 0)
-                        and seg.arrivals.exhausted(slots),
+                        drained=bool(backlog[index] == 0) and arrivals_done,
                         collector=collector,
                         packets=packets,
+                        trace=trace,
+                        potential=potential,
                     )
                 )
         return results
+
+    def _materialize_trace(
+        self,
+        recorder: _SlotRecorder,
+        index: int,
+        slots: int,
+        trace_senders: list[tuple[np.ndarray, np.ndarray]],
+        trace_listeners: list[tuple[np.ndarray, np.ndarray]],
+    ) -> ExecutionTrace:
+        """Expand per-slot event arrays into the scalar engine's trace form.
+
+        Packet ids are assigned in injection order (as the scalar engine
+        does), and sender/listener tuples come out in ascending packet-id
+        order, which matches the scalar engine's iteration over its active
+        dict.
+        """
+        arrivals = recorder.arrivals[:slots, index]
+        outcome = recorder.outcome[:slots, index]
+        jammed = recorder.jammed[:slots, index]
+        active_before = recorder.active_before[:slots, index]
+        active_after = recorder.active_after[:slots, index]
+        winner = recorder.winner[:slots, index]
+        contention = recorder.contention[:slots, index]
+        potential = (
+            recorder.potential[:slots, index] if self._collect_potential else None
+        )
+        records = []
+        next_packet_id = 0
+        for s in range(slots):
+            count = int(arrivals[s])
+            arrival_ids = tuple(range(next_packet_id, next_packet_id + count))
+            next_packet_id += count
+            rows_idx, cols_idx = trace_senders[s]
+            senders = tuple(int(c) for c in cols_idx[rows_idx == index])
+            if trace_listeners:
+                rows_idx, cols_idx = trace_listeners[s]
+                listeners = tuple(int(c) for c in cols_idx[rows_idx == index])
+            else:
+                listeners = ()
+            winner_id = int(winner[s])
+            records.append(
+                SlotRecord(
+                    slot=s,
+                    outcome=_OUTCOMES[int(outcome[s])],
+                    jammed=bool(jammed[s]),
+                    arrivals=arrival_ids,
+                    senders=senders,
+                    listeners=listeners,
+                    winner=None if winner_id < 0 else winner_id,
+                    active_before=int(active_before[s]),
+                    active_after=int(active_after[s]),
+                    contention=float(contention[s]),
+                    potential=(
+                        float(potential[s]) if potential is not None else None
+                    ),
+                )
+            )
+        return ExecutionTrace(records=records)
+
+    def _materialize_potential(
+        self,
+        recorder: _SlotRecorder,
+        index: int,
+        slots: int,
+        active_after: np.ndarray,
+        has_windows: bool,
+    ) -> PotentialTracker:
+        """Expand the vectorized Φ accumulator into a scalar tracker."""
+        tracker = PotentialTracker(self._potential_coefficients)
+        h_col = recorder.h_term[:slots, index]
+        l_col = recorder.l_term[:slots, index]
+        inverse_col = recorder.inverse_window_sum[:slots, index]
+        phi_col = recorder.potential[:slots, index]
+        tracker.samples = [
+            PotentialSample(
+                slot=s,
+                num_packets=int(active_after[s]) if has_windows else 0,
+                h_term=float(h_col[s]),
+                l_term=float(l_col[s]),
+                contention=float(inverse_col[s]),
+                potential=float(phi_col[s]),
+            )
+            for s in range(slots)
+        ]
+        return tracker

@@ -107,6 +107,27 @@ class VectorProtocolKernel(abc.ABC):
     def init_packets(self, newly: np.ndarray) -> None:
         """Initialise state for freshly injected packets (boolean mask)."""
 
+    # -- Introspection (contention and potential accounting) -----------------
+
+    def sending_probabilities(self) -> np.ndarray | float:
+        """Per-packet sending probabilities, for contention accounting.
+
+        Matches the scalar states' ``sending_probability()`` exactly;
+        defaults to :attr:`probabilities` (correct for send-only kernels),
+        sensing kernels override with their send thresholds.
+        """
+        return self.probabilities
+
+    def window_matrix(self) -> np.ndarray | None:
+        """Per-packet backoff windows, ``None`` for windowless protocols.
+
+        Mirrors the scalar states' optional ``window`` attribute, which
+        feeds the potential tracker; kernels without a window (fixed
+        probability, multiplicative weights) return ``None`` and the
+        potential degrades to empty samples, as on the scalar engine.
+        """
+        return None
+
     # -- Send-only interface -------------------------------------------------
 
     @property
@@ -210,6 +231,9 @@ class BinaryExponentialKernel(VectorProtocolKernel):
     def probabilities(self) -> np.ndarray:
         return self._inverse
 
+    def window_matrix(self) -> np.ndarray:
+        return self._window
+
     def on_unsuccessful_send(self, losers: np.ndarray) -> None:
         grown = self._window[losers] * _cells(self._backoff_factor, losers)
         cap = self._max_window
@@ -254,6 +278,11 @@ class PolynomialKernel(VectorProtocolKernel):
     def probabilities(self) -> np.ndarray:
         return self._inverse
 
+    def window_matrix(self) -> np.ndarray:
+        # The scalar state computes ``initial * (collisions + 1) ** degree``
+        # on demand; reproduce the same float operations.
+        return self._initial_window * (self._collisions + 1.0) ** self._degree
+
     def on_unsuccessful_send(self, losers: np.ndarray) -> None:
         bumped = self._collisions[losers] + 1
         self._collisions[losers] = bumped
@@ -289,6 +318,12 @@ class SawtoothKernel(VectorProtocolKernel):
         self._window = self._phase.copy()
         self._count = np.zeros(shape, dtype=np.int64)
         self._inverse = np.reciprocal(self._window)
+
+    def sending_probabilities(self) -> np.ndarray:
+        return self._inverse
+
+    def window_matrix(self) -> np.ndarray:
+        return self._window
 
     def grow(self, capacity: int) -> None:
         extra = capacity - self.capacity
@@ -363,6 +398,9 @@ class FullSensingMWKernel(VectorProtocolKernel):
         self._probability = np.empty(shape)
         self._probability[:] = self._initial
 
+    def sending_probabilities(self) -> np.ndarray:
+        return self._probability
+
     def grow(self, capacity: int) -> None:
         extra = capacity - self.capacity
         if extra <= 0:
@@ -435,6 +473,14 @@ class LowSensingKernel(VectorProtocolKernel):
         self._listen_threshold = np.empty(shape)
         full = np.ones(shape, dtype=bool)
         self._set_thresholds(full)
+
+    def sending_probabilities(self) -> np.ndarray:
+        # access · send-given-access for both variants (the decoupled
+        # trichotomy keeps the same marginal send probability).
+        return self._send_threshold
+
+    def window_matrix(self) -> np.ndarray:
+        return self._window
 
     def _set_thresholds(self, mask: np.ndarray) -> None:
         """Recompute both thresholds at each True cell of ``mask``."""

@@ -10,14 +10,20 @@ schedule can be precomputed as an array) with a jammer whose per-slot
 decision depends on at most the slot index, a budget counter, and the
 backlog — all of which the engine tracks as arrays.
 
-What remains on the scalar engine: reactive jammers (they see the current
-slot's senders), contention-reading adaptive jammers, coupled adversaries
-whose injections and jams both read the live backlog
-(:class:`~repro.adversary.adaptive.BacklogCouplingAdversary`), execution
-traces, and potential tracking.  :func:`vector_support` answers "can this
-spec vectorize?" with ``None`` (yes) or a human-readable reason (no), and
-the :class:`~repro.exec.vector_backend.VectorBackend` uses that answer to
-fall back transparently.
+Feedback-coupled components vectorize too, via the engine's lockstep
+feedback loop: reactive jammers see the current slot's per-replication
+sender arrays, contention-reading adaptive jammers are fed a
+per-replication contention row each slot, and coupled adversaries whose
+injections and jams both read the live backlog
+(:class:`~repro.adversary.adaptive.BacklogCouplingAdversary`) drive their
+decisions from the engine's backlog counter.  Execution traces and
+potential tracking are vectorized *outputs* — per-slot event arrays
+materialized into trace records and potential samples on demand — not
+blockers.  :func:`vector_support` answers "can this spec vectorize?" with
+``None`` (yes) or a human-readable reason (no), and the
+:class:`~repro.exec.vector_backend.VectorBackend` uses that answer to fall
+back transparently; :func:`mega_batch_exclusion` names the configurations
+that vectorize but must run in their own lockstep batch.
 
 This module deliberately avoids importing numpy, so capability checks stay
 importable (and cheap) even where the vector engine itself is never used.
@@ -40,6 +46,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.adversary.arrivals import (
+    AdversarialQueueingArrivals,
     BatchArrivals,
     NoArrivals,
     PeriodicBurstArrivals,
@@ -47,10 +54,14 @@ from repro.adversary.arrivals import (
 )
 from repro.adversary.composite import CompositeAdversary
 from repro.adversary.jamming import (
+    AdaptiveContentionJammer,
     BernoulliJamming,
+    BudgetedRandomJamming,
     BurstJamming,
     NoJamming,
     PeriodicJamming,
+    ReactiveSuccessJammer,
+    ReactiveTargetedJammer,
 )
 from repro.adversary.adaptive import BacklogCouplingAdversary
 from repro.adversary.scheduled import ScheduledArrivals, ScheduledJamming
@@ -81,6 +92,7 @@ VECTOR_ARRIVALS = (
     BatchArrivals,
     PoissonArrivals,
     PeriodicBurstArrivals,
+    AdversarialQueueingArrivals,
 )
 
 #: Jammer classes with a vector kernel (exact type match).
@@ -89,6 +101,12 @@ VECTOR_JAMMERS = (
     BernoulliJamming,
     PeriodicJamming,
     BurstJamming,
+    BudgetedRandomJamming,
+    # Feedback-coupled jammers: served by the engine's lockstep feedback
+    # loop (per-slot contention rows and current-slot sender arrays).
+    AdaptiveContentionJammer,
+    ReactiveTargetedJammer,
+    ReactiveSuccessJammer,
 )
 
 
@@ -153,20 +171,15 @@ def jammer_support(jammer: Any) -> str | None:
 
 def adversary_support(adversary: Any) -> str | None:
     """``None`` if the adversary decomposes into vectorizable parts."""
-    if isinstance(adversary, BacklogCouplingAdversary):
-        return (
-            "adversary BacklogCouplingAdversary couples its injection and "
-            "jamming decisions through the live backlog (injects on deficit, "
-            "jams at backlog 1), so neither side can be precomputed in "
-            "lockstep"
-        )
+    if _eligible(adversary, (BacklogCouplingAdversary,)):
+        # The coupled adversary fills both component roles; the engine's
+        # lockstep backlog counter serves its per-slot reads.
+        return None
     if not isinstance(adversary, CompositeAdversary):
         return (
             f"adversary {type(adversary).__name__} is not a CompositeAdversary "
-            "(coupled or custom adversaries run on the scalar engine)"
+            "(custom adversaries run on the scalar engine)"
         )
-    if getattr(adversary, "reactive", False):
-        return "reactive jammers observe the current slot's senders"
     reason = arrival_process_support(adversary.arrival_process)
     if reason is not None:
         return reason
@@ -175,10 +188,6 @@ def adversary_support(adversary: Any) -> str | None:
 
 def config_support(config: Any) -> str | None:
     """``None`` if a built :class:`SimulationConfig` can vectorize."""
-    if getattr(config, "collect_trace", False):
-        return "execution traces record per-slot per-packet detail"
-    if getattr(config, "collect_potential", False):
-        return "potential tracking reads per-packet windows each slot"
     reason = protocol_support(config.protocol)
     if reason is not None:
         return reason
@@ -192,10 +201,6 @@ def vector_support(spec: Any) -> str | None:
     introspect the concrete arrival/jammer types; the built objects are
     discarded, so this never leaks state into the actual run.
     """
-    if getattr(spec, "collect_trace", False):
-        return "execution traces record per-slot per-packet detail"
-    if getattr(spec, "collect_potential", False):
-        return "potential tracking reads per-packet windows each slot"
     reason = protocol_support(getattr(spec, "protocol", None))
     if reason is not None:
         return reason
@@ -204,3 +209,30 @@ def vector_support(spec: Any) -> str | None:
     except Exception as exc:  # pragma: no cover - defensive
         return f"spec could not build its configuration: {exc}"
     return adversary_support(config.adversary)
+
+
+def mega_batch_exclusion(spec: Any) -> str | None:
+    """Why a vectorizable spec must run in its own lockstep batch.
+
+    ``None`` means the spec's group may stack into a mega-batch with other
+    compatible groups.  A named reason means the group still vectorizes —
+    it just gets its own kernel launch — mirroring the validation in
+    :meth:`~repro.sim.vector.engine.VectorSimulator.from_spec_groups`.
+    """
+    if getattr(spec, "collect_trace", False) or getattr(
+        spec, "collect_potential", False
+    ):
+        return (
+            "trace and potential outputs are materialized per lockstep "
+            "batch; such groups cannot mega-batch"
+        )
+    try:
+        config = spec.build_config() if hasattr(spec, "build_config") else spec
+    except Exception:  # pragma: no cover - defensive
+        return None
+    if isinstance(config.adversary, BacklogCouplingAdversary):
+        return (
+            "backlog-coupled adversaries read the live backlog each slot; "
+            "such groups cannot mega-batch"
+        )
+    return None

@@ -26,8 +26,8 @@ from repro.store import ResultsStore
 #: sensing tier included, since the sensing-vector kernels), so a vector
 #: campaign cuts one lockstep unit per protocol group while a serial
 #: campaign cuts per-run scalar units; SCALAR_FALLBACK below covers the
-#: scalar-unit path *under* the vector backend (reactive jamming keeps
-#: every group on the scalar engine).
+#: scalar-unit path *under* the vector backend (replayed arrival traces
+#: have no vector schedule, so every group stays on the scalar engine).
 MIXED = {
     "id": "campaign-mixed",
     "title": "Campaign test scenario",
@@ -38,13 +38,12 @@ MIXED = {
 }
 
 SCALAR_FALLBACK = {
-    "id": "campaign-reactive",
-    "title": "Reactive campaign scenario (serial fallback on vector backend)",
+    "id": "campaign-replayed",
+    "title": "Replayed-trace campaign scenario (serial fallback on vector backend)",
     "protocols": ["binary-exponential", "low-sensing"],
     "max_slots": 1500,
     "replications": 3,
-    "arrivals": {"kind": "batch", "n": 12},
-    "jamming": {"kind": "reactive-success", "budget": 3},
+    "arrivals": {"kind": "trace", "counts": [12, 0, 0, 0]},
 }
 
 VECTOR_ONLY = {

@@ -43,13 +43,18 @@ class TestList:
         assert e1["vectorizable_specs"] == e1["total_specs"] > 0
         assert 0 < e1["mega_batches"] <= e1["vector_groups"]
         assert e1["fallbacks"] == []
-        # E6 is reactive: every group names its fallback reason.
+        # E6 is reactive and rides the lockstep feedback loop since the
+        # reactive kernels; E9's trace/potential groups vectorize too but
+        # carry a named mega-batch exclusion.
         e6 = by_id["E6"]
-        assert e6["vectorizable_specs"] == 0
-        assert e6["fallbacks"]
-        for fallback in e6["fallbacks"]:
-            assert "reactive" in fallback["reason"]
-            assert fallback["protocol"] == "low-sensing"
+        assert e6["vectorizable_specs"] == e6["total_specs"] > 0
+        assert e6["fallbacks"] == []
+        assert e6["fallback_histogram"] == {}
+        e9 = by_id["E9"]
+        assert e9["vectorizable_specs"] == e9["total_specs"] > 0
+        assert e9["mega_exclusions"]
+        for exclusion in e9["mega_exclusions"]:
+            assert "mega-batch" in exclusion["reason"]
         # Scenarios carry the same field.
         for row in payload["scenarios"]:
             assert "vectorization" in row
@@ -66,11 +71,12 @@ class TestExplain:
         # No execution happened: no report table, no timing line.
         assert "throughput" not in out
 
-    def test_explain_names_fallback_reasons(self, capsys):
+    def test_explain_shows_reactive_experiment_on_vector_path(self, capsys):
         assert main(["run", "e6", "--scale", "smoke", "--explain"]) == 0
         out = capsys.readouterr().out
-        assert "fallback: " in out
-        assert "reactive" in out
+        # E6's reactive jammers ride the lockstep feedback loop.
+        assert "fallback: " not in out
+        assert "vector kernel" in out
 
     def test_explain_handles_multiple_ids_and_seeds(self, capsys):
         assert main(
@@ -78,7 +84,28 @@ class TestExplain:
         ) == 0
         out = capsys.readouterr().out
         assert "[E1]" in out and "[E9]" in out
-        assert "potential" in out  # E9's named fallback reason
+        assert "fallback: " not in out
+
+    def test_explain_aggregates_fallback_reasons_into_histogram(self, capsys):
+        from repro.adversary.arrivals import TraceArrivals
+        from repro.adversary.composite import CompositeAdversary
+        from repro.cli import _fallback_histogram, _print_vectorization_table
+        from repro.experiments.plan import SweepPlan, factory
+        from repro.protocols.binary_exponential import BinaryExponentialBackoff
+
+        replayed = factory(CompositeAdversary, factory(TraceArrivals, (4, 0, 1)))
+        plan = SweepPlan()
+        plan.add_group(BinaryExponentialBackoff(), replayed, seeds=[1, 2, 3])
+        plan.add_group(
+            BinaryExponentialBackoff(initial_window=8.0), replayed, seeds=[4, 5]
+        )
+        histogram = _fallback_histogram(plan, plan.vector_summary())
+        assert list(histogram.values()) == [5]  # 5 specs, one shared reason
+        assert "TraceArrivals" in next(iter(histogram))
+        _print_vectorization_table("demo", plan, "smoke")
+        out = capsys.readouterr().out
+        assert "fallback reasons (spec counts):" in out
+        assert "   5  " in out
 
 
 class TestRun:
@@ -202,11 +229,11 @@ class TestScenario:
         assert payload["vector_support"]["binary-exponential"] == "vectorizable"
         # The sensing tier vectorizes too since the sensing-vector kernels.
         assert payload["vector_support"]["low-sensing"] == "vectorizable"
-        # A reactive scenario still reports its named fallback reason.
+        # Reactive scenarios vectorize too since the lockstep feedback loop.
         assert main(["scenario", "show", "reactive-starvation"]) == 0
         payload = json.loads(capsys.readouterr().out)
         for reason in payload["vector_support"].values():
-            assert "reactive" in reason
+            assert reason == "vectorizable"
 
     def test_scenario_show_unknown_rejected(self):
         with pytest.raises(SystemExit):
@@ -260,6 +287,45 @@ class TestScenario:
         assert backend["fallback_jobs"] == 0
         bench = json.loads((tmp_path / "BENCH.json").read_text(encoding="utf-8"))
         assert bench["scenario:ramp-down-jamming"]["latest"]["content_hash"]
+
+    def test_scenario_run_vector_backend_warns_on_majority_fallback(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "replayed.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "id": "cli-replayed-scenario",
+                    "title": "Replayed arrivals (stays on the scalar engine)",
+                    "protocols": ["binary-exponential"],
+                    "max_slots": 400,
+                    "replications": 2,
+                    "arrivals": {"kind": "trace", "counts": [6, 0, 0]},
+                }
+            ),
+            encoding="utf-8",
+        )
+        code = main(
+            ["scenario", "run", str(path), "--scale", "smoke", "--backend", "vector"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warning:" in out
+        assert "fall back to the serial engine" in out
+        assert "TraceArrivals" in out
+
+    def test_scenario_run_vector_backend_no_warning_when_vectorized(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "scenario", "run", "ramp-down-jamming",
+                "--scale", "smoke",
+                "--backend", "vector",
+            ]
+        )
+        assert code == 0
+        assert "warning:" not in capsys.readouterr().out
 
     def test_scenario_run_from_file(self, tmp_path, capsys):
         path = tmp_path / "mine.json"
@@ -434,9 +500,32 @@ class TestEquivalence:
         assert code == 0
         assert "ramp-down-jamming [binary-exponential]" in out
 
-    def test_scenario_without_vectorizable_group_rejected(self):
+    def test_reactive_scenario_passes_on_the_vector_path(self, capsys):
+        code = main(
+            ["equivalence", "--scenario", "reactive-starvation", "--scale", "smoke"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reactive-starvation [low-sensing]" in out
+        assert "all configurations passed" in out
+
+    def test_scenario_without_vectorizable_group_rejected(self, tmp_path):
+        path = tmp_path / "replayed.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "id": "equivalence-replayed",
+                    "title": "Replayed arrivals (never vectorizes)",
+                    "protocols": ["binary-exponential"],
+                    "max_slots": 400,
+                    "replications": 2,
+                    "arrivals": {"kind": "trace", "counts": [6, 0, 0]},
+                }
+            ),
+            encoding="utf-8",
+        )
         with pytest.raises(SystemExit):
-            main(["equivalence", "--scenario", "reactive-starvation", "--scale", "smoke"])
+            main(["equivalence", "--scenario", str(path), "--scale", "smoke"])
 
     def test_bad_replications_rejected(self):
         with pytest.raises(SystemExit):

@@ -11,6 +11,7 @@ from repro.analysis.equivalence import (
     MetricComparison,
     _compare_means,
     compare_result_sets,
+    design_effect,
     ks_2sample,
 )
 
@@ -47,6 +48,41 @@ class TestKsTwoSample:
         # F1 jumps at 1,2; F2 jumps at 2,3: max gap is 1/2 at x in [1, 2).
         result = ks_2sample([1.0, 2.0], [2.0, 3.0])
         assert result.statistic == pytest.approx(0.5)
+
+
+class TestDesignEffect:
+    def test_independent_clusters_have_unit_design_effect(self):
+        rng = Random(1)
+        groups = [[rng.gauss(0.0, 1.0) for _ in range(50)] for _ in range(12)]
+        # No cluster-level random effect: ICC ≈ 0.  The one-way ANOVA
+        # estimator is noisy at 12 clusters, so allow a small positive bias
+        # (ICC of a few percent) rather than asserting exactly 1.
+        assert design_effect(groups) < 3.0
+
+    def test_strong_clustering_deflates_toward_cluster_count(self):
+        rng = Random(2)
+        groups = [
+            [rng.gauss(0.0, 0.01) + offset for _ in range(50)]
+            for offset in (0.0, 5.0, 10.0, 15.0)
+        ]
+        # Packets within a cluster are nearly identical: ICC ≈ 1, so the
+        # design effect approaches the mean cluster size.
+        assert design_effect(groups) > 40.0
+
+    def test_degenerate_inputs_fall_back_to_one(self):
+        assert design_effect([]) == 1.0
+        assert design_effect([[1.0, 2.0, 3.0]]) == 1.0  # single cluster
+        assert design_effect([[1.0], [2.0], [3.0]]) == 1.0  # singletons
+        assert design_effect([[2.0, 2.0], [2.0, 2.0]]) == 1.0  # zero variance
+
+    def test_corrected_ks_is_more_conservative(self):
+        rng = Random(3)
+        a = [rng.gauss(0.0, 1.0) for _ in range(600)]
+        b = [rng.gauss(0.3, 1.0) for _ in range(600)]
+        naive = ks_2sample(a, b)
+        corrected = ks_2sample(a, b, n_eff1=60, n_eff2=60)
+        assert corrected.statistic == naive.statistic
+        assert corrected.p_value > naive.p_value
 
 
 class TestCompareMeans:

@@ -294,7 +294,7 @@ class TestBackendMegaBatching:
         for a, b in zip(mega, per_group):
             assert identical(a, b)
 
-    def test_mixed_with_fallback_keeps_job_order(self):
+    def test_mixed_with_mega_exclusion_keeps_job_order(self):
         plan = SweepPlan()
         plan.add_group(BinaryExponentialBackoff(), batch_adversary(10), [1, 2])
         plan.add_group(
@@ -304,15 +304,16 @@ class TestBackendMegaBatching:
             BinaryExponentialBackoff(),
             batch_adversary(10),
             [4],
-            collect_trace=True,  # serial fallback
+            collect_trace=True,  # vectorizes, but in its own lockstep batch
         )
         backend = VectorBackend()
         results = plan.run(backend).results
         assert [r.seed for r in results] == [1, 2, 3, 4]
-        assert backend.mega_batches == 1
-        assert backend.fallback_jobs == 1
-        serial = SerialBackend().run([plan.specs[3]])[0]
-        assert identical(results[3], serial)
+        # The two plain BEB groups stack; the trace-collecting group is
+        # mega-excluded and gets its own launch.
+        assert backend.mega_batches == 2
+        assert backend.fallback_jobs == 0
+        assert results[3].trace is not None
 
     def test_describe_reports_launch_counters(self):
         backend = VectorBackend()

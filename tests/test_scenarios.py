@@ -333,13 +333,28 @@ class TestRunner:
             assert any("content hash" in note for note in report.notes)
 
     def test_report_names_fallback_reasons(self):
+        scenario = scenario_from_dict(
+            minimal_definition(
+                arrivals={"kind": "trace", "counts": [6, 0, 0]},
+            )
+        )
+        report = run_scenario(
+            scenario, scale="smoke", seeds=[11], backend=SerialBackend()
+        )
+        assert any("scalar fallback" in note for note in report.notes)
+
+    def test_reactive_catalog_scenario_reports_full_vectorization(self):
         report = run_scenario(
             get_scenario("reactive-starvation"),
             scale="smoke",
             seeds=[11],
             backend=SerialBackend(),
         )
-        assert any("scalar fallback" in note for note in report.notes)
+        vector_notes = [note for note in report.notes if "vectorizable" in note]
+        assert vector_notes, report.notes
+        vectorized, _, total = vector_notes[0].split()[1].partition("/")
+        assert vectorized == total
+        assert not any("scalar fallback" in note for note in report.notes)
 
     def test_scenario_runs_hit_the_result_cache(self, tmp_path):
         scenario = get_scenario("budget-starved-jammer")

@@ -1,13 +1,14 @@
 """Tests for `VectorBackend`: grouping, ordering, and the serial fallback.
 
 The vector/scalar boundary contract: every configuration the vector engine
-does not support (reactive or coupled adversaries, contention-reading
-jammers, traces, potential tracking) must cleanly fall back to the serial
-engine and produce results *identical* to `SerialBackend` — it is literally
-the same code path, so this is an equality, not a statistical, assertion.
-The sensing protocols (low-sensing, sawtooth, full-sensing MW) vectorize
-since the sensing-tier kernels landed, so the fallback set here is exactly
-the adversary/instrumentation remainder.
+does not support (custom protocol/adversary subclasses, replayed arrival
+traces) must cleanly fall back to the serial engine and produce results
+*identical* to `SerialBackend` — it is literally the same code path, so
+this is an equality, not a statistical, assertion.  The sensing protocols
+vectorize since the sensing-tier kernels landed, and the reactive/adaptive/
+coupled adversaries plus trace/potential outputs vectorize since the
+lockstep feedback loop, so the fallback set here is exactly the
+unregistered remainder.
 """
 
 from __future__ import annotations
@@ -15,7 +16,8 @@ from __future__ import annotations
 import pytest
 
 from repro.adversary.adaptive import BacklogCouplingAdversary
-from repro.adversary.arrivals import BatchArrivals
+from repro.adversary.arrivals import BatchArrivals, TraceArrivals
+from repro.adversary.base import Adversary
 from repro.adversary.composite import CompositeAdversary
 from repro.adversary.jamming import (
     AdaptiveContentionJammer,
@@ -66,7 +68,50 @@ def summary_tuple(result):
     )
 
 
+class TweakedJammer(NoJamming):
+    """Subclass without a registered kernel: must stay scalar."""
+
+
+class CustomAdversary(Adversary):
+    """Not a CompositeAdversary: must stay scalar."""
+
+    def arrivals(self, view, rng):
+        return 1 if view.slot == 0 else 0
+
+    def jam(self, view, rng):
+        return False
+
+
 UNSUPPORTED_SPECS = [
+    pytest.param(
+        spec(
+            BinaryExponentialBackoff(),
+            4,
+            adversary=factory(
+                CompositeAdversary, factory(TraceArrivals, (3, 0, 2, 1))
+            ),
+        ),
+        id="trace-arrivals",
+    ),
+    pytest.param(
+        spec(
+            BinaryExponentialBackoff(),
+            5,
+            adversary=factory(
+                CompositeAdversary,
+                factory(BatchArrivals, 10),
+                factory(TweakedJammer),
+            ),
+        ),
+        id="unregistered-jammer-subclass",
+    ),
+    pytest.param(
+        spec(BinaryExponentialBackoff(), 6, adversary=factory(CustomAdversary)),
+        id="custom-adversary",
+    ),
+]
+
+NEWLY_SUPPORTED_SPECS = [
     pytest.param(
         spec(
             BinaryExponentialBackoff(),
@@ -136,7 +181,20 @@ class TestFallbackBoundary:
         ):
             assert spec(protocol, 1).vector_support() is None
 
-    def test_backlog_coupling_reason_names_the_coupling(self):
+    @pytest.mark.parametrize("supported", NEWLY_SUPPORTED_SPECS)
+    def test_feedback_coupled_specs_no_longer_fall_back(self, supported):
+        assert supported.vector_support() is None
+
+    @pytest.mark.parametrize("supported", NEWLY_SUPPORTED_SPECS)
+    def test_feedback_coupled_specs_run_on_the_vector_path(self, supported):
+        backend = VectorBackend()
+        backend.run([supported])
+        assert backend.vectorized_jobs == 1
+        assert backend.fallback_jobs == 0
+
+    def test_backlog_coupling_mega_exclusion_names_the_coupling(self):
+        from repro.sim.vector.support import mega_batch_exclusion
+
         coupled = spec(
             BinaryExponentialBackoff(),
             7,
@@ -144,9 +202,9 @@ class TestFallbackBoundary:
                 BacklogCouplingAdversary, target_backlog=2, total_packets=10
             ),
         )
-        reason = coupled.vector_support()
-        assert "BacklogCouplingAdversary" in reason
-        assert "backlog" in reason
+        assert coupled.vector_support() is None
+        reason = mega_batch_exclusion(coupled)
+        assert reason is not None and "backlog" in reason
 
     @pytest.mark.parametrize("unsupported", UNSUPPORTED_SPECS)
     def test_unsupported_spec_identical_to_serial(self, unsupported):
@@ -192,11 +250,13 @@ class TestGroupingAndOrdering:
             "binary-exponential",
             "fixed-probability",
         ]
-        # The trace-enabled BEB job is the lone fallback; low-sensing seeds
-        # 1 and 3 share a lockstep group.
-        assert backend.vectorized_jobs == 4
-        assert backend.fallback_jobs == 1
-        assert backend.vector_groups == 3
+        # The trace-enabled BEB job vectorizes too (traces are lockstep
+        # outputs now) but lands in its own group: its collection options
+        # differ from the plain BEB job.  Low-sensing seeds 1 and 3 share a
+        # lockstep group.
+        assert backend.vectorized_jobs == 5
+        assert backend.fallback_jobs == 0
+        assert backend.vector_groups == 4
 
     def test_same_config_many_seeds_is_one_group(self):
         jobs = [spec(BinaryExponentialBackoff(), seed) for seed in range(6)]
@@ -243,25 +303,24 @@ class TestPlanIntegration:
         vector_rows = plan.run(VectorBackend()).group_rows()
         serial_rows = plan.run(SerialBackend()).group_rows()
         assert len(vector_rows) == 2
-        # The reactive group falls back to serial: bit-identical rows.
-        assert vector_rows[0] == serial_rows[0]
-        # The low-sensing group vectorizes: same workload, different coins.
-        assert vector_rows[1]["arrivals"] == serial_rows[1]["arrivals"]
-        assert vector_rows[1]["drained"] == serial_rows[1]["drained"]
+        # Both groups vectorize (the reactive group rides the lockstep
+        # feedback loop): same workload, different coins.
+        for vector_row, serial_row in zip(vector_rows, serial_rows):
+            assert vector_row["arrivals"] == serial_row["arrivals"]
+            assert vector_row["drained"] == serial_row["drained"]
         assert vector_rows[1]["mean_listens"] > 0
 
     def test_vector_summary_metadata(self):
-        reactive = factory(
+        unsupported = factory(
             CompositeAdversary,
-            factory(BatchArrivals, 10),
-            factory(ReactiveSuccessJammer, budget=3),
+            factory(TraceArrivals, (2, 0, 1)),
         )
         plan = SweepPlan()
         plan.add_group(BinaryExponentialBackoff(), batch_adversary(10), seeds=[1, 2])
         plan.add_group(
             BinaryExponentialBackoff(initial_window=8.0), batch_adversary(10), seeds=[1, 2]
         )
-        plan.add_group(LowSensingBackoff(), reactive, seeds=[3, 4])
+        plan.add_group(LowSensingBackoff(), unsupported, seeds=[3, 4])
         summary = plan.vector_summary()
         assert summary["total_specs"] == 6
         assert summary["vectorizable_specs"] == 4
@@ -270,6 +329,27 @@ class TestPlanIntegration:
         # mega-batch launch (same kernel family).
         assert summary["vector_groups"] == 2
         assert summary["mega_batches"] == 1
+        assert summary["mega_exclusions"] == {}
+
+    def test_vector_summary_reports_mega_exclusions(self):
+        plan = SweepPlan()
+        plan.add_group(
+            BinaryExponentialBackoff(),
+            batch_adversary(10),
+            seeds=[1, 2],
+            collect_trace=True,
+        )
+        plan.add_group(
+            BinaryExponentialBackoff(),
+            factory(BacklogCouplingAdversary, target_backlog=2, total_packets=10),
+            seeds=[1, 2],
+        )
+        summary = plan.vector_summary()
+        assert summary["vectorizable_specs"] == 4
+        assert summary["fallback_groups"] == {}
+        exclusions = summary["mega_exclusions"]
+        assert "mega-batch" in exclusions[0]
+        assert "backlog" in exclusions[1]
 
 
 class TestRegistration:
@@ -324,12 +404,11 @@ class TestCacheLayoutIsolation:
         assert not list(tmp_path.glob("*.pkl"))
 
     def test_fallback_jobs_share_the_scalar_cache(self, tmp_path):
-        reactive = factory(
+        replayed = factory(
             CompositeAdversary,
-            factory(BatchArrivals, 20),
-            factory(ReactiveSuccessJammer, budget=3),
+            factory(TraceArrivals, (5, 0, 0, 5)),
         )
-        job = spec(LowSensingBackoff(), 7, adversary=reactive)  # serial fallback
+        job = spec(LowSensingBackoff(), 7, adversary=replayed)  # serial fallback
         serial_cached = make_backend("serial", cache_dir=str(tmp_path))
         serial_result = serial_cached.run([job])[0]
         vector_cached = make_backend("vector", cache_dir=str(tmp_path))
@@ -343,12 +422,11 @@ class TestCacheLayoutIsolation:
 
     def test_result_layout_declarations(self):
         backend = VectorBackend()
-        reactive = factory(
+        replayed = factory(
             CompositeAdversary,
-            factory(BatchArrivals, 20),
-            factory(ReactiveSuccessJammer, budget=3),
+            factory(TraceArrivals, (5, 0, 0, 5)),
         )
-        fallback_spec = spec(BinaryExponentialBackoff(), 1, adversary=reactive)
+        fallback_spec = spec(BinaryExponentialBackoff(), 1, adversary=replayed)
         assert backend.result_layout(spec(BinaryExponentialBackoff(), 1)) is None
         # Sensing protocols are vector-layout now too.
         assert backend.result_layout(spec(LowSensingBackoff(), 1)) is None

@@ -294,12 +294,23 @@ class TestValidationAndSupport:
 
     def test_adversary_support(self):
         assert adversary_support(CompositeAdversary(BatchArrivals(1), NoJamming())) is None
+        # Feedback-coupled jammers vectorize via the lockstep feedback loop.
         from repro.adversary.jamming import ReactiveSuccessJammer
 
-        reason = adversary_support(
-            CompositeAdversary(BatchArrivals(1), ReactiveSuccessJammer(budget=1))
+        assert (
+            adversary_support(
+                CompositeAdversary(BatchArrivals(1), ReactiveSuccessJammer(budget=1))
+            )
+            is None
         )
-        assert reason is not None and "reactive" in reason.lower()
+
+        class CustomJammer(NoJamming):
+            pass
+
+        reason = adversary_support(
+            CompositeAdversary(BatchArrivals(1), CustomJammer())
+        )
+        assert reason is not None and "no vector kernel" in reason
 
     def test_from_specs_rejects_heterogeneous_batches(self):
         from repro.experiments.plan import RunSpec, factory
@@ -312,20 +323,24 @@ class TestValidationAndSupport:
         with pytest.raises(ValueError, match="one configuration"):
             VectorSimulator.from_specs(mixed)
 
-    def test_vector_support_reports_trace_and_potential(self):
+    def test_trace_and_potential_vectorize_but_exclude_mega_batching(self):
         from repro.experiments.plan import RunSpec, factory
+        from repro.sim.vector.support import mega_batch_exclusion
 
         adversary = factory(CompositeAdversary, factory(BatchArrivals, 5))
         ok = RunSpec(protocol=ALWAYS_SEND, adversary=adversary, seed=1)
         assert ok.vector_support() is None
+        assert mega_batch_exclusion(ok) is None
         traced = RunSpec(
             protocol=ALWAYS_SEND, adversary=adversary, seed=1, collect_trace=True
         )
-        assert "trace" in traced.vector_support()
+        assert traced.vector_support() is None
+        assert "mega-batch" in mega_batch_exclusion(traced)
         tracked = RunSpec(
             protocol=ALWAYS_SEND, adversary=adversary, seed=1, collect_potential=True
         )
-        assert "potential" in tracked.vector_support()
+        assert tracked.vector_support() is None
+        assert "mega-batch" in mega_batch_exclusion(tracked)
 
 
 class TestStatisticalAgreementSpotChecks:

@@ -81,12 +81,11 @@ class TestVectorMatchesScalarStatistically:
         assert "latency_distribution" in metrics
 
     def test_rejects_non_vectorizable_specs(self):
-        from repro.adversary.jamming import ReactiveSuccessJammer
+        from repro.adversary.arrivals import TraceArrivals
 
         adversary = factory(
             CompositeAdversary,
-            factory(BatchArrivals, 10),
-            factory(ReactiveSuccessJammer, budget=3),
+            factory(TraceArrivals, [10, 0, 0]),
         )
         with pytest.raises(ValueError, match="cannot vectorize"):
             verify_vector_equivalence(specs_for(PolynomialBackoff(), adversary))

@@ -1,0 +1,479 @@
+"""Tests for the feedback-coupled vector kernels and vectorized outputs.
+
+The reactive/adaptive adversaries close a feedback loop with the protocol
+state (they read each slot's senders, contention, or backlog), so their
+vector kernels run inside the engine's lockstep slot loop.  Three layers of
+checking, mirroring ``test_vector_sensing``:
+
+* **state-machine identity** — driving the *scalar adversary objects*
+  (``ReactiveSuccessJammer``, ``ReactiveTargetedJammer``,
+  ``BacklogCouplingAdversary``) with the vector engine's own coins must
+  reproduce the vector results bit-for-bit.  This proves the kernels
+  implement exactly the scalar jam/injection logic, so any residual
+  vector-vs-scalar difference is the random-stream layout — the vector
+  engine's documented contract;
+* **trace/potential output parity** — with ``collect_trace`` and
+  ``collect_potential`` on, the materialised :class:`SlotRecord` and
+  :class:`PotentialSample` sequences must equal a scalar-semantics
+  reconstruction on the same coins, field for field;
+* **statistical equivalence** — every new kernel runs through the
+  Welch + design-effect-corrected KS harness against the serial engine,
+  plus mega-stack bit-identity and budget invariants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.adaptive import BacklogCouplingAdversary
+from repro.adversary.arrivals import AdversarialQueueingArrivals, BatchArrivals
+from repro.adversary.base import SystemView
+from repro.adversary.composite import CompositeAdversary
+from repro.adversary.jamming import (
+    AdaptiveContentionJammer,
+    BudgetedRandomJamming,
+    NoJamming,
+    ReactiveSuccessJammer,
+    ReactiveTargetedJammer,
+)
+from repro.analysis.equivalence import verify_vector_equivalence
+from repro.channel.feedback import Feedback, FeedbackReport, SlotOutcome
+from repro.channel.trace import SlotRecord
+from repro.core.low_sensing import LowSensingBackoff
+from repro.core.potential import PotentialCoefficients, PotentialTracker
+from repro.experiments.plan import RunSpec, factory
+from repro.protocols.binary_exponential import BinaryExponentialBackoff
+from repro.sim.vector import VectorSimulator
+from repro.sim.vector.rng import CoinBlocks, VectorStreams
+
+
+def packet_tuples(result):
+    return [
+        (p.packet_id, p.arrival_slot, p.departure_slot, p.sends, p.listens)
+        for p in result.packets
+    ]
+
+
+# ---------------------------------------------------------------------------
+# State-machine identity: scalar adversaries driven by the vector coins
+# ---------------------------------------------------------------------------
+
+
+def reference_run(adversary, seed, max_slots, capacity, *, collect=False):
+    """Re-run one replication with scalar components on the vector coins.
+
+    ``adversary`` is a *scalar* adversary object (a fresh instance — the
+    reference mutates its budget counters).  The protocol is binary
+    exponential backoff, whose single-coin decision (``u < 1/w`` sends)
+    matches the vector layout exactly, so scalar adversary logic plus the
+    vector coin stream must reproduce the vector engine bit-for-bit.
+
+    Returns ``(packets, records, samples)``; the latter two are only
+    populated when ``collect`` is true, and follow the scalar engine's slot
+    order exactly: view snapshot pre-injection, arrivals, base jam, packet
+    decisions, reactive jam, resolution, feedback, departure, then the
+    potential sampled from post-departure windows.
+    """
+    protocol = BinaryExponentialBackoff()
+    streams = VectorStreams([seed])
+    coins = CoinBlocks(streams, capacity)
+    states: dict[int, object] = {}
+    active: list[int] = []
+    sends: dict[int, int] = {}
+    arrival_slots: dict[int, int] = {}
+    departed: dict[int, int] = {}
+    next_id = 0
+    running = np.ones(1, dtype=bool)
+    records: list[SlotRecord] = []
+    tracker = PotentialTracker(PotentialCoefficients()) if collect else None
+    slot = 0
+    while slot < max_slots and (active or not adversary.arrivals_exhausted(slot)):
+        contention = sum(states[i].sending_probability() for i in active)
+        view = SystemView(
+            slot=slot, active_packets=tuple(active), contention=contention
+        )
+        num_arrivals = adversary.arrivals(view, None)
+        arrival_ids = tuple(range(next_id, next_id + num_arrivals))
+        for packet_id in arrival_ids:
+            states[packet_id] = protocol.new_packet_state()
+            sends[packet_id] = 0
+            arrival_slots[packet_id] = slot
+            active.append(packet_id)
+        next_id += num_arrivals
+        active_before = len(active)
+        jammed = bool(adversary.jam(view, None))
+        row = coins.coins(slot, running)[0]
+        senders = [i for i in active if row[i] < states[i].sending_probability()]
+        if not jammed and adversary.reactive:
+            jammed = bool(adversary.reactive_jam(view, tuple(senders), None))
+        if jammed:
+            outcome, winner, feedback = SlotOutcome.JAMMED, None, Feedback.NOISE
+        elif len(senders) == 1:
+            outcome, winner, feedback = SlotOutcome.SUCCESS, senders[0], Feedback.SUCCESS
+        elif senders:
+            outcome, winner, feedback = SlotOutcome.COLLISION, None, Feedback.NOISE
+        else:
+            outcome, winner, feedback = SlotOutcome.EMPTY, None, Feedback.EMPTY
+        for index in senders:
+            sends[index] += 1
+            if index != winner:
+                states[index].observe(
+                    FeedbackReport(feedback=feedback, sent=True), None
+                )
+        if winner is not None:
+            active.remove(winner)
+            departed[winner] = slot
+        if collect:
+            sample = tracker.record(slot, [states[i].window for i in active])
+            records.append(
+                SlotRecord(
+                    slot=slot,
+                    outcome=outcome,
+                    jammed=jammed,
+                    arrivals=arrival_ids,
+                    senders=tuple(senders),
+                    listeners=(),
+                    winner=winner,
+                    active_before=active_before,
+                    active_after=len(active),
+                    contention=contention,
+                    potential=sample.potential,
+                )
+            )
+        slot += 1
+    packets = [
+        (index, arrival_slots[index], departed.get(index), sends[index], 0)
+        for index in sorted(arrival_slots)
+    ]
+    return packets, records, tracker.samples if tracker else []
+
+
+class TestReactiveKernelsMatchScalarAdversaries:
+    """Same coins + scalar adversary logic == vector results, bit-for-bit."""
+
+    def test_reactive_success(self):
+        for seed in (3, 11, 42):
+            vector = VectorSimulator(
+                BinaryExponentialBackoff(),
+                BatchArrivals(12),
+                ReactiveSuccessJammer(budget=6),
+                seeds=[seed],
+                max_slots=4000,
+            ).run()[0]
+            adversary = CompositeAdversary(
+                BatchArrivals(12), ReactiveSuccessJammer(budget=6)
+            )
+            packets, _, _ = reference_run(adversary, seed, 4000, 12)
+            assert packet_tuples(vector) == packets
+            assert vector.collector.num_jammed == 6
+
+    def test_reactive_targeted(self):
+        for seed, target in ((3, 0), (11, 2), (42, 5)):
+            vector = VectorSimulator(
+                BinaryExponentialBackoff(),
+                BatchArrivals(8),
+                ReactiveTargetedJammer(budget=4, target_index=target),
+                seeds=[seed],
+                max_slots=4000,
+            ).run()[0]
+            adversary = CompositeAdversary(
+                BatchArrivals(8),
+                ReactiveTargetedJammer(budget=4, target_index=target),
+            )
+            packets, _, _ = reference_run(adversary, seed, 4000, 8)
+            assert packet_tuples(vector) == packets
+
+    def test_backlog_coupling(self):
+        for seed in (3, 11, 42):
+            adversary = BacklogCouplingAdversary(
+                target_backlog=3, total_packets=12, jam_budget=4
+            )
+            vector = VectorSimulator(
+                BinaryExponentialBackoff(),
+                adversary,
+                adversary,
+                seeds=[seed],
+                max_slots=4000,
+            ).run()[0]
+            reference = BacklogCouplingAdversary(
+                target_backlog=3, total_packets=12, jam_budget=4
+            )
+            packets, _, _ = reference_run(reference, seed, 4000, 12)
+            assert packet_tuples(vector) == packets
+
+
+# ---------------------------------------------------------------------------
+# Vectorized trace / potential outputs
+# ---------------------------------------------------------------------------
+
+
+class TestTraceAndPotentialParity:
+    def test_slot_records_match_scalar_semantics_bit_for_bit(self):
+        for seed in (3, 11):
+            vector = VectorSimulator(
+                BinaryExponentialBackoff(),
+                BatchArrivals(10),
+                ReactiveSuccessJammer(budget=4),
+                seeds=[seed],
+                max_slots=4000,
+                collect_trace=True,
+                collect_potential=True,
+            ).run()[0]
+            adversary = CompositeAdversary(
+                BatchArrivals(10), ReactiveSuccessJammer(budget=4)
+            )
+            _, records, samples = reference_run(
+                adversary, seed, 4000, 10, collect=True
+            )
+            assert vector.trace is not None
+            assert vector.potential is not None
+            assert list(vector.trace.records) == records
+            assert list(vector.potential.samples) == samples
+
+    def test_trace_only_run_omits_potential(self):
+        result = VectorSimulator(
+            BinaryExponentialBackoff(),
+            BatchArrivals(5),
+            NoJamming(),
+            seeds=[7],
+            max_slots=2000,
+            collect_trace=True,
+        ).run()[0]
+        assert result.trace is not None
+        assert result.potential is None
+        assert all(record.potential is None for record in result.trace.records)
+        assert result.trace.num_arrivals == 5
+        assert result.trace.num_successes == 5
+
+    def test_trace_aggregates_are_consistent_with_the_collector(self):
+        result = VectorSimulator(
+            BinaryExponentialBackoff(),
+            BatchArrivals(15),
+            ReactiveSuccessJammer(budget=5),
+            seeds=[13],
+            max_slots=8000,
+            collect_trace=True,
+        ).run()[0]
+        trace = result.trace
+        collector = result.collector
+        assert trace.num_slots == result.num_slots
+        assert trace.num_successes == collector.num_successes
+        assert trace.num_jammed == collector.num_jammed == 5
+        assert trace.num_arrivals == collector.num_arrivals
+        sends_in_trace = sum(len(record.senders) for record in trace.records)
+        # Winners stay in their slot's sender tuple, so the trace's send
+        # count is the collector's total.
+        assert sends_in_trace == collector.total_sends
+
+    def test_windowless_protocol_yields_zero_potential(self):
+        from repro.protocols.mw_full_sensing import FullSensingMultiplicativeWeights
+
+        result = VectorSimulator(
+            FullSensingMultiplicativeWeights(),
+            BatchArrivals(6),
+            NoJamming(),
+            seeds=[5],
+            max_slots=2000,
+            collect_potential=True,
+        ).run()[0]
+        assert result.potential is not None
+        assert len(result.potential.samples) == result.num_slots
+        assert all(sample.potential == 0.0 for sample in result.potential.samples)
+
+    def test_collected_outputs_do_not_perturb_the_run(self):
+        def run(**flags):
+            return VectorSimulator(
+                BinaryExponentialBackoff(),
+                BatchArrivals(12),
+                ReactiveSuccessJammer(budget=4),
+                seeds=[3, 7],
+                max_slots=4000,
+                **flags,
+            ).run()
+
+        bare = run()
+        collected = run(collect_trace=True, collect_potential=True)
+        for a, b in zip(bare, collected):
+            assert packet_tuples(a) == packet_tuples(b)
+            assert a.collector.backlog_series == b.collector.backlog_series
+
+
+# ---------------------------------------------------------------------------
+# Statistical equivalence per kernel
+# ---------------------------------------------------------------------------
+
+
+def _equivalence_cases():
+    return [
+        pytest.param(
+            BinaryExponentialBackoff(),
+            factory(
+                CompositeAdversary,
+                factory(BatchArrivals, 30),
+                factory(ReactiveSuccessJammer, budget=15),
+            ),
+            id="reactive-success",
+        ),
+        pytest.param(
+            BinaryExponentialBackoff(),
+            factory(
+                CompositeAdversary,
+                factory(BatchArrivals, 20),
+                factory(ReactiveTargetedJammer, budget=10, target_index=0),
+            ),
+            id="reactive-targeted",
+        ),
+        pytest.param(
+            LowSensingBackoff(),
+            factory(
+                CompositeAdversary,
+                factory(BatchArrivals, 25),
+                factory(AdaptiveContentionJammer, budget=12, target_regime="good"),
+            ),
+            id="adaptive-contention",
+        ),
+        pytest.param(
+            BinaryExponentialBackoff(),
+            factory(
+                CompositeAdversary,
+                factory(BatchArrivals, 25),
+                factory(BudgetedRandomJamming, budget=20, horizon=400),
+            ),
+            id="budgeted-random",
+        ),
+        pytest.param(
+            BinaryExponentialBackoff(),
+            factory(
+                CompositeAdversary,
+                factory(
+                    AdversarialQueueingArrivals,
+                    rate=0.2,
+                    granularity=50,
+                    horizon=500,
+                    placement="uniform",
+                ),
+                factory(NoJamming),
+            ),
+            id="queueing-uniform",
+        ),
+        pytest.param(
+            BinaryExponentialBackoff(),
+            factory(
+                CompositeAdversary,
+                factory(
+                    AdversarialQueueingArrivals,
+                    rate=0.2,
+                    granularity=50,
+                    horizon=500,
+                    placement="random",
+                ),
+                factory(NoJamming),
+            ),
+            id="queueing-random",
+        ),
+        pytest.param(
+            BinaryExponentialBackoff(),
+            factory(
+                BacklogCouplingAdversary,
+                target_backlog=3,
+                total_packets=40,
+                jam_budget=10,
+            ),
+            id="backlog-coupling",
+        ),
+    ]
+
+
+class TestReactiveKernelEquivalence:
+    @pytest.mark.parametrize("protocol,adversary", _equivalence_cases())
+    def test_kernel_statistically_matches_scalar(self, protocol, adversary):
+        specs = [
+            RunSpec(protocol=protocol, adversary=adversary, seed=seed, max_slots=20_000)
+            for seed in range(1, 9)
+        ]
+        report = verify_vector_equivalence(specs)
+        assert report.passed, report.render()
+
+    def test_equivalence_with_collected_outputs(self):
+        specs = [
+            RunSpec(
+                protocol=BinaryExponentialBackoff(),
+                adversary=factory(
+                    CompositeAdversary,
+                    factory(BatchArrivals, 25),
+                    factory(ReactiveSuccessJammer, budget=10),
+                ),
+                seed=seed,
+                max_slots=20_000,
+                collect_trace=True,
+                collect_potential=True,
+            )
+            for seed in range(1, 9)
+        ]
+        report = verify_vector_equivalence(specs)
+        assert report.passed, report.render()
+
+
+# ---------------------------------------------------------------------------
+# Mega-stack bit-identity and invariants
+# ---------------------------------------------------------------------------
+
+
+def _spec(protocol, adversary, seed, **options):
+    return RunSpec(
+        protocol=protocol, adversary=adversary, seed=seed, max_slots=8000, **options
+    )
+
+
+class TestMegaStackBitIdentity:
+    def test_reactive_groups_stack_bit_identically(self):
+        groups = [
+            [
+                _spec(
+                    BinaryExponentialBackoff(),
+                    factory(
+                        CompositeAdversary,
+                        factory(BatchArrivals, 15),
+                        factory(ReactiveSuccessJammer, budget=budget),
+                    ),
+                    seed,
+                )
+                for seed in (1, 2, 3)
+            ]
+            for budget in (5, 9)
+        ]
+        mega = VectorSimulator.from_spec_groups(groups).run()
+        flat = iter(mega)
+        for specs in groups:
+            for expected in VectorSimulator.from_specs(specs).run():
+                got = next(flat)
+                assert packet_tuples(got) == packet_tuples(expected)
+                assert (
+                    got.collector.backlog_series == expected.collector.backlog_series
+                )
+
+    def test_budget_respected_per_replication(self):
+        results = VectorSimulator(
+            BinaryExponentialBackoff(),
+            BatchArrivals(20),
+            ReactiveSuccessJammer(budget=7),
+            seeds=[1, 2, 3, 4],
+            max_slots=8000,
+        ).run()
+        for result in results:
+            assert result.collector.num_jammed <= 7
+
+    def test_repeat_runs_bit_identical(self):
+        def run_batch():
+            return VectorSimulator(
+                LowSensingBackoff(),
+                BatchArrivals(20),
+                AdaptiveContentionJammer(budget=8, target_regime="good"),
+                seeds=[11, 23, 47],
+                max_slots=20_000,
+            ).run()
+
+        for first, second in zip(run_batch(), run_batch()):
+            assert first.collector.backlog_series == second.collector.backlog_series
+            assert packet_tuples(first) == packet_tuples(second)

@@ -235,8 +235,7 @@ class TestScheduledEquivalence:
             BinaryExponentialBackoff(),
             factory(
                 CompositeAdversary,
-                factory(BatchArrivals, 40),
-                factory(ReactiveSuccessJammer, budget=5),
+                factory(TraceArrivals, (40,) + (0,) * 20),
             ),
             seeds=range(1, 13),
         )
