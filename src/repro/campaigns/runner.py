@@ -38,6 +38,7 @@ from repro.exec.backends import ExecutionBackend, ProcessPoolBackend, SerialBack
 from repro.experiments.plan import RunSpec, SweepPlan, batch_signature
 from repro.experiments.spec import ExperimentReport, ExperimentSpec
 from repro.store import METRIC_COLUMNS, ResultsStore
+from repro.telemetry import current as current_telemetry
 
 #: Scalar runs committed per checkpoint transaction.
 DEFAULT_CHECKPOINT_EVERY = 8
@@ -82,6 +83,12 @@ class _Unit:
     indices: tuple[int, ...]
     layout: str
     vectorized: bool
+
+
+def _utcnow_iso() -> str:
+    import datetime
+
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
 
 
 def default_campaign_id(
@@ -153,7 +160,14 @@ def _scalar_backend(backend_name: str, workers: int | None) -> ExecutionBackend:
 def _run_vector_unit(specs: list[RunSpec]):
     from repro.sim.vector import VectorSimulator
 
-    return VectorSimulator.from_specs(specs).run()
+    # Only the batch construction is timed here; the engine's run() emits
+    # its own simulate/finalize phase spans, and wrapping it again would
+    # double-count the unit's wall-clock in telemetry summaries.
+    with current_telemetry().span(
+        "build", kind="phase", backend="vector", jobs=len(specs)
+    ):
+        batch = VectorSimulator.from_specs(specs)
+    return batch.run()
 
 
 def _execute(
@@ -176,64 +190,115 @@ def _execute(
         import os as _os
 
         checkpoint_every = max(checkpoint_every, workers or _os.cpu_count() or 1)
-    units, hashes = _partition_units(plan, backend_name, checkpoint_every)
+    tele = current_telemetry()
+    # Partitioning hashes every spec (content-addressed identity), which
+    # is real work on large plans — time it as part of the build phase.
+    with tele.span(
+        "build", kind="phase", backend=backend_name, op="partition-units"
+    ):
+        units, hashes = _partition_units(plan, backend_name, checkpoint_every)
     specs = plan.specs
     scalar_backend = _scalar_backend(backend_name, workers)
     executed = 0
     skipped = 0
     total_elapsed = 0.0
     units_done = 0
-    for unit in units:
-        pending = [
-            index
-            for index in unit.indices
-            if not store.has_run(hashes[index], specs[index].seed, unit.layout)
-        ]
+    runs_done = 0
+    total_runs = len(specs)
+    for unit_index, unit in enumerate(units):
+        unit_started_at = _utcnow_iso()
+        started = time.perf_counter()
+        with tele.span(
+            "commit", kind="phase", backend=backend_name, op="pending-check"
+        ):
+            pending = [
+                index
+                for index in unit.indices
+                if not store.has_run(hashes[index], specs[index].seed, unit.layout)
+            ]
         if unit.vectorized and pending:
             # A vector batch is all-or-nothing: partially stored runs (a
             # kill between artifact writes) are simply re-produced — the
             # re-run is bit-identical, so the store converges.
             pending = list(unit.indices)
-        started = time.perf_counter()
         if pending:
             pending_specs = [specs[index] for index in pending]
             if unit.vectorized:
+                # _run_vector_unit and the engine emit their own
+                # build/simulate/finalize phase spans.
                 results = _run_vector_unit(pending_specs)
             else:
+                # The scalar backend emits its own build/simulate spans.
                 results = scalar_backend.run(pending_specs)
-            for index, result in zip(pending, results):
-                store.put_run(
-                    hashes[index],
-                    specs[index].seed,
-                    unit.layout,
-                    result,
-                    scenario_hash=scenario_hash,
-                    source="campaign",
-                )
+            with tele.span(
+                "commit",
+                kind="phase",
+                backend=backend_name,
+                op="put-run",
+                unit=unit_index,
+                runs=len(pending),
+            ):
+                for index, result in zip(pending, results):
+                    store.put_run(
+                        hashes[index],
+                        specs[index].seed,
+                        unit.layout,
+                        result,
+                        scenario_hash=scenario_hash,
+                        source="campaign",
+                    )
         elapsed = time.perf_counter() - started
-        store.record_campaign_unit(
-            campaign_id,
-            [
-                (
-                    index,
-                    unit.group_id,
-                    unit.protocol,
-                    hashes[index],
-                    specs[index].seed,
-                    unit.layout,
-                )
-                for index in unit.indices
-            ],
-            elapsed_seconds=elapsed,
-        )
+        # The unit span is persisted in the store whether or not telemetry
+        # is on — it is provenance (outside the fingerprint) and is what
+        # `campaign status` derives per-unit wall-clock and ETA from.
+        with tele.span(
+            "commit", kind="phase", backend=backend_name, op="record-unit"
+        ):
+            store.record_campaign_unit(
+                campaign_id,
+                [
+                    (
+                        index,
+                        unit.group_id,
+                        unit.protocol,
+                        hashes[index],
+                        specs[index].seed,
+                        unit.layout,
+                    )
+                    for index in unit.indices
+                ],
+                elapsed_seconds=elapsed,
+                unit_index=unit_index,
+                started_at=unit_started_at,
+            )
         executed += len(pending)
         skipped += len(unit.indices) - len(pending)
         total_elapsed += elapsed
         units_done += 1
+        runs_done += len(unit.indices)
+        if tele.enabled:
+            tele.span_record(
+                "unit",
+                elapsed,
+                kind="unit",
+                backend=backend_name,
+                campaign=campaign_id,
+                unit=unit_index,
+                runs=len(unit.indices),
+                executed=len(pending),
+            )
+            tele.progress(
+                f"campaign {campaign_id}",
+                runs_done,
+                total_runs,
+                units_done=units_done,
+                units=len(units),
+            )
         if fail_after_units is not None and units_done >= fail_after_units:
             if units_done < len(units):
                 raise CampaignInterrupted(campaign_id, units_done)
-    store.finish_campaign(campaign_id)
+    with tele.span("commit", kind="phase", backend=backend_name, op="finish"):
+        store.finish_campaign(campaign_id)
     return CampaignOutcome(
         campaign_id=campaign_id,
         status="complete",
@@ -292,17 +357,22 @@ def start_campaign(
             f"campaign {campaign_id!r} already exists "
             f"(status {existing['status']}); use resume"
         )
-    plan = build_plan(scenario, scale, seed_list)
-    store.create_campaign(
-        campaign_id,
-        scenario_id=scenario.scenario_id,
-        scenario_hash=scenario_hash,
-        definition=scenario.to_dict(),
-        scale=scale,
-        seeds=seed_list,
-        backend=backend_name,
-        total_runs=len(plan),
-    )
+    tele = current_telemetry()
+    with tele.span("build", kind="phase", backend=backend_name, op="plan"):
+        plan = build_plan(scenario, scale, seed_list)
+    with tele.span(
+        "commit", kind="phase", backend=backend_name, op="create-campaign"
+    ):
+        store.create_campaign(
+            campaign_id,
+            scenario_id=scenario.scenario_id,
+            scenario_hash=scenario_hash,
+            definition=scenario.to_dict(),
+            scale=scale,
+            seeds=seed_list,
+            backend=backend_name,
+            total_runs=len(plan),
+        )
     return _execute(
         store,
         plan,
@@ -365,7 +435,10 @@ def resume_campaign(
             "recorded content hash; refusing to resume against different science"
         )
     seeds = json.loads(row["seeds"])
-    plan = build_plan(scenario, row["scale"], seeds)
+    with current_telemetry().span(
+        "build", kind="phase", backend=row["backend"], op="plan"
+    ):
+        plan = build_plan(scenario, row["scale"], seeds)
     if len(plan) != row["total_runs"]:
         raise CampaignError(
             f"campaign {campaign_id!r}: rebuilt plan has {len(plan)} runs but "
@@ -388,14 +461,42 @@ def resume_campaign(
 # ---------------------------------------------------------------------------
 
 
+def estimate_eta_seconds(
+    runs_done: int, total_runs: int, elapsed_seconds: float
+) -> float | None:
+    """Remaining wall-clock estimate from per-run observed rate.
+
+    ``None`` when there is nothing to estimate from (no completed runs
+    yet) or nothing left to do.  The rate comes from the persisted unit
+    spans' total elapsed, so it survives interruption: a resumed
+    campaign's ETA reflects all work ever done on it.
+    """
+    if runs_done <= 0 or total_runs <= runs_done or elapsed_seconds <= 0:
+        return None
+    return (total_runs - runs_done) * (elapsed_seconds / runs_done)
+
+
 def campaign_status_rows(store: ResultsStore) -> list[dict[str, Any]]:
-    """One summary row per campaign: progress, backend, timing."""
+    """One summary row per campaign: progress, backend, timing, ETA.
+
+    ``units_done``/``slowest_unit_seconds`` come from the persisted
+    per-unit spans (``campaign_units``); ``eta_seconds`` is ``None`` for
+    campaigns that are complete or have no timing data yet.
+    """
     rows = []
     for campaign in store.list_campaigns():
-        done = store.campaign_run_count(campaign["campaign_id"])
+        campaign_id = campaign["campaign_id"]
+        done = store.campaign_run_count(campaign_id)
+        unit_rows = store.campaign_units(campaign_id)
+        elapsed = round(campaign["elapsed_seconds"] or 0.0, 4)
+        eta = (
+            estimate_eta_seconds(done, campaign["total_runs"], elapsed)
+            if campaign["status"] != "complete"
+            else None
+        )
         rows.append(
             {
-                "campaign_id": campaign["campaign_id"],
+                "campaign_id": campaign_id,
                 "scenario_id": campaign["scenario_id"],
                 "scenario_hash": campaign["scenario_hash"],
                 "scale": campaign["scale"],
@@ -403,7 +504,14 @@ def campaign_status_rows(store: ResultsStore) -> list[dict[str, Any]]:
                 "status": campaign["status"],
                 "runs_done": done,
                 "total_runs": campaign["total_runs"],
-                "elapsed_seconds": round(campaign["elapsed_seconds"] or 0.0, 4),
+                "elapsed_seconds": elapsed,
+                "units_done": len(unit_rows),
+                "slowest_unit_seconds": (
+                    round(max(row["elapsed_seconds"] for row in unit_rows), 4)
+                    if unit_rows
+                    else None
+                ),
+                "eta_seconds": round(eta, 4) if eta is not None else None,
                 "created_at": campaign["created_at"],
             }
         )
@@ -471,6 +579,21 @@ def campaign_report(store: ResultsStore, campaign_id: str) -> ExperimentReport:
         f"status={campaign['status']}: {done}/{campaign['total_runs']} runs recorded "
         f"on backend {campaign['backend']} at scale {campaign['scale']}"
     )
+    unit_rows = store.campaign_units(campaign_id)
+    if unit_rows:
+        total_elapsed = campaign["elapsed_seconds"] or 0.0
+        slowest = max(unit_rows, key=lambda row: row["elapsed_seconds"])
+        mean_unit = total_elapsed / len(unit_rows) if unit_rows else 0.0
+        report.notes.append(
+            f"timing: {len(unit_rows)} unit(s) in {total_elapsed:.2f}s wall-clock "
+            f"(mean {mean_unit:.2f}s/unit; slowest unit #{slowest['unit_index']} "
+            f"[{slowest['protocol']}, {slowest['runs']} runs] "
+            f"{slowest['elapsed_seconds']:.2f}s)"
+        )
+        if campaign["status"] != "complete":
+            eta = estimate_eta_seconds(done, campaign["total_runs"], total_elapsed)
+            if eta is not None:
+                report.notes.append(f"eta: ~{eta:.1f}s of work remaining")
     if unbacked:
         # Aggregates above silently averaged over fewer replicates; say so
         # loudly — a registry row behind a recorded membership is gone,

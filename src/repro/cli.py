@@ -63,6 +63,19 @@ Subcommands:
     ``--bench`` it instead checks the campaign's wall clock against
     recorded BENCH history.
 
+``telemetry``
+    Observability tooling (:mod:`repro.telemetry`).  ``run``, ``scenario
+    run``, ``campaign run`` and ``campaign resume`` accept ``--telemetry
+    PATH`` (append structured JSONL events: spans, counters, named events)
+    and ``--progress`` (live completion/rate/ETA on stderr); then::
+
+        python -m repro telemetry summarize PATH [--json]
+
+    aggregates a JSONL file into per-phase/per-backend wall-clock tables,
+    counter totals, event histograms, and a coverage figure (share of
+    root wall-clock explained by phase spans).  Telemetry is RNG- and
+    result-inert: fingerprints with it on and off are bit-identical.
+
 ``cache``
     Operational tooling for the result cache / results store::
 
@@ -131,6 +144,43 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
             "JSON file (per-id history accumulates across runs)"
         ),
     )
+    _add_telemetry_options(parser)
+
+
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by ``run``/``scenario run``/``campaign``."""
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append structured telemetry events (JSONL) to PATH; aggregate "
+            "with 'python -m repro telemetry summarize PATH'"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live completion/rate/ETA on stderr while running",
+    )
+
+
+def _telemetry_session(args: argparse.Namespace):
+    """Build the run's telemetry session from the CLI flags (or ``None``).
+
+    Telemetry is RNG- and result-inert, so turning it on can never change
+    what a command computes — only what it reports while computing it.
+    """
+    from repro.telemetry import JsonlSink, ProgressSink, TelemetrySession
+
+    sinks = []
+    if getattr(args, "telemetry", None):
+        sinks.append(JsonlSink(args.telemetry))
+    if getattr(args, "progress", False):
+        sinks.append(ProgressSink())
+    if not sinks:
+        return None
+    return TelemetrySession(sinks)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -280,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="scalar runs per checkpoint transaction (default: 8)",
     )
+    _add_telemetry_options(campaign_run)
 
     campaign_resume = campaign_sub.add_parser(
         "resume", help="complete an interrupted campaign"
@@ -290,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_resume.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N"
     )
+    _add_telemetry_options(campaign_resume)
 
     campaign_status = campaign_sub.add_parser(
         "status", help="list campaigns and their progress"
@@ -337,6 +389,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_diff.add_argument("--alpha", type=float, default=0.001)
     campaign_diff.add_argument("--mean-alpha", type=float, default=0.002)
+
+    telemetry_parser = subparsers.add_parser(
+        "telemetry", help="aggregate telemetry JSONL files"
+    )
+    telemetry_sub = telemetry_parser.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    telemetry_summarize = telemetry_sub.add_parser(
+        "summarize",
+        help=(
+            "per-phase/per-backend wall-clock breakdown (plus counters, "
+            "events, and coverage) of a --telemetry JSONL file"
+        ),
+    )
+    telemetry_summarize.add_argument(
+        "path", metavar="PATH", help="JSONL file written by --telemetry"
+    )
+    telemetry_summarize.add_argument("--json", action="store_true")
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect and prune the on-disk result cache"
@@ -648,6 +718,13 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     build_backend = _backend_builder(args, parser)
     out_dir = _prepare_out_dir(args.out, parser)
     _prepare_bench_out(args.bench_out, parser)
+    from repro.telemetry import activated
+
+    with activated(_telemetry_session(args)) as tele:
+        return _run_experiments(args, ids, seeds, build_backend, out_dir, tele)
+
+
+def _run_experiments(args, ids, seeds, build_backend, out_dir, tele) -> int:
     for exp_id in ids:
         # A fresh backend per experiment keeps the counters it reports
         # (cache hits/misses, vectorized/fallback splits) attributed to
@@ -656,9 +733,12 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         backend = build_backend()
         try:
             started = time.perf_counter()
-            report = ALL_EXPERIMENTS[exp_id](
-                scale=args.scale, seeds=seeds, backend=backend
-            )
+            with tele.span(
+                "sweep", kind="root", backend=args.backend, experiment=exp_id
+            ):
+                report = ALL_EXPERIMENTS[exp_id](
+                    scale=args.scale, seeds=seeds, backend=backend
+                )
             elapsed = time.perf_counter() - started
         finally:
             backend.close()
@@ -738,8 +818,6 @@ def _command_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser)
         return 0
 
     # scenario run
-    from repro.scenarios.runner import run_scenario, scenario_max_slots, scenario_seeds
-
     seeds = _parse_seeds(args.seeds, parser)
     build_backend = _backend_builder(args, parser)
     try:
@@ -758,15 +836,30 @@ def _command_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser)
             )
     out_dir = _prepare_out_dir(args.out, parser)
     _prepare_bench_out(args.bench_out, parser)
+    from repro.telemetry import activated
+
+    with activated(_telemetry_session(args)) as tele:
+        return _run_scenarios(args, scenarios, seeds, build_backend, out_dir, tele)
+
+
+def _run_scenarios(args, scenarios, seeds, build_backend, out_dir, tele) -> int:
+    from repro.scenarios.runner import run_scenario, scenario_max_slots, scenario_seeds
+
     for scenario in scenarios:
         if args.backend == "vector":
             _warn_on_majority_fallback(scenario, args.scale, seeds)
         backend = build_backend()
         try:
             started = time.perf_counter()
-            report = run_scenario(
-                scenario, scale=args.scale, seeds=seeds, backend=backend
-            )
+            with tele.span(
+                "scenario",
+                kind="root",
+                backend=args.backend,
+                scenario=scenario.scenario_id,
+            ):
+                report = run_scenario(
+                    scenario, scale=args.scale, seeds=seeds, backend=backend
+                )
             elapsed = time.perf_counter() - started
         finally:
             backend.close()
@@ -953,33 +1046,49 @@ def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser)
         )
         if checkpoint < 1:
             parser.error("--checkpoint-every must be at least 1")
+    from repro.telemetry import activated
+
     with _open_store(
         args.store, parser, create=args.campaign_command == "run"
     ) as store:
         try:
             if args.campaign_command == "run":
-                outcome = start_campaign(
-                    store,
-                    scenario,
-                    scale=args.scale,
-                    seeds=seeds,
-                    backend_name=args.backend,
-                    workers=args.workers,
-                    campaign_id=args.campaign_id,
-                    checkpoint_every=checkpoint,
-                    fail_after_units=_fail_after_units_env(parser),
-                )
+                with activated(_telemetry_session(args)) as tele:
+                    with tele.span(
+                        "campaign",
+                        kind="root",
+                        backend=args.backend,
+                        scenario=scenario.scenario_id,
+                    ):
+                        outcome = start_campaign(
+                            store,
+                            scenario,
+                            scale=args.scale,
+                            seeds=seeds,
+                            backend_name=args.backend,
+                            workers=args.workers,
+                            campaign_id=args.campaign_id,
+                            checkpoint_every=checkpoint,
+                            fail_after_units=_fail_after_units_env(parser),
+                        )
                 _print_outcome(outcome)
                 return 0
 
             if args.campaign_command == "resume":
-                outcome = resume_campaign(
-                    store,
-                    args.campaign_id,
-                    workers=args.workers,
-                    checkpoint_every=checkpoint,
-                    fail_after_units=_fail_after_units_env(parser),
-                )
+                with activated(_telemetry_session(args)) as tele:
+                    with tele.span(
+                        "campaign",
+                        kind="root",
+                        campaign=args.campaign_id,
+                        op="resume",
+                    ):
+                        outcome = resume_campaign(
+                            store,
+                            args.campaign_id,
+                            workers=args.workers,
+                            checkpoint_every=checkpoint,
+                            fail_after_units=_fail_after_units_env(parser),
+                        )
                 _print_outcome(outcome)
                 return 0
 
@@ -1001,11 +1110,19 @@ def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser)
                     return 0
                 width = max(len(row["campaign_id"]) for row in rows)
                 for row in rows:
+                    timing = f"{row['elapsed_seconds']:.2f}s"
+                    if row["units_done"]:
+                        timing += (
+                            f" over {row['units_done']} unit(s), "
+                            f"slowest {row['slowest_unit_seconds']:.2f}s"
+                        )
+                    if row["eta_seconds"] is not None:
+                        timing += f", eta ~{row['eta_seconds']:.1f}s"
                     print(
                         f"{row['campaign_id']:<{width}}  {row['status']:<9} "
                         f"{row['runs_done']}/{row['total_runs']} runs  "
                         f"backend={row['backend']} scale={row['scale']} "
-                        f"{row['elapsed_seconds']:.2f}s"
+                        f"{timing}"
                     )
                 return 0
 
@@ -1059,6 +1176,28 @@ def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser)
         except CampaignError as exc:
             parser.error(str(exc))
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _command_telemetry(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from repro.telemetry import read_events, render_summary, summarize_events
+
+    path = pathlib.Path(args.path)
+    if not path.is_file():
+        parser.error(
+            f"no telemetry file at {args.path!r} "
+            "(produce one with --telemetry PATH on run/scenario run/campaign run)"
+        )
+    events = read_events(path)
+    if not events:
+        parser.error(f"telemetry file {args.path!r} contains no parseable events")
+    summary = summarize_events(events)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(render_summary(summary))
+    return 0
 
 
 def _command_cache(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
@@ -1128,6 +1267,8 @@ def main(argv: Iterable[str] | None = None) -> int:
         return _command_equivalence(args, parser)
     if args.command == "campaign":
         return _command_campaign(args, parser)
+    if args.command == "telemetry":
+        return _command_telemetry(args, parser)
     if args.command == "cache":
         return _command_cache(args, parser)
     return _command_run(args, parser)

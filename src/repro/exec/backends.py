@@ -13,6 +13,15 @@ Every backend honours the same contract:
   so no mutable state leaks between replicates;
 * the results are identical to what :class:`SerialBackend` produces for the
   same jobs — parallelism must never change the science.
+
+Telemetry (:mod:`repro.telemetry`) rides along without touching that
+contract: backends emit build/simulate phase spans and post-run counters
+when a session is active, and cost one no-op ``current()`` lookup when it
+is not.  Pool workers run with telemetry disabled (a session is
+process-local); the parent reconstructs per-job spans from the monotonic
+timestamps workers return, which on Linux are comparable across processes
+(``CLOCK_MONOTONIC`` is system-wide), giving queue-wait vs run time and
+worker-pid attribution for free.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 import abc
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Any, Protocol, Sequence
@@ -27,6 +37,7 @@ from typing import Any, Protocol, Sequence
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import Simulator
 from repro.sim.results import SimulationResult
+from repro.telemetry import current as current_telemetry
 
 
 class RunJob(Protocol):
@@ -52,13 +63,122 @@ class ConfigJob:
         return self.config
 
 
+def job_identity(job: RunJob) -> str:
+    """A human-nameable identity for one job in a batch.
+
+    Used by worker error wrapping and telemetry attribution, so a failing
+    or slow spec inside a 200-job sweep can be pointed at directly.
+    Prefers the spec's stable content hash (when it has one) plus the
+    protocol class and seed; degrades to the job type for opaque jobs.
+    """
+    parts: list[str] = []
+    protocol = getattr(job, "protocol", None)
+    if protocol is not None:
+        parts.append(type(protocol).__name__)
+    key_method = getattr(job, "cache_key", None)
+    if callable(key_method):
+        try:
+            key = key_method()
+        except Exception:
+            key = None
+        if key:
+            parts.append(f"spec={key[:12]}")
+    seed = getattr(job, "seed", None)
+    if seed is not None:
+        parts.append(f"seed={seed}")
+    if not parts:
+        parts.append(type(job).__name__)
+    return " ".join(parts)
+
+
+class WorkerJobError(RuntimeError):
+    """A job failed inside a pool worker, re-raised with its identity.
+
+    ``multiprocessing`` pickles worker exceptions back to the parent but
+    drops any notion of *which* job raised — this wrapper carries the job
+    index and spec identity across the process boundary.  The original
+    traceback stays in the worker; its type and message are embedded here
+    (and in ``cause_type``/``cause_message``) because chained exceptions
+    (``__cause__``) do not survive pickling.
+    """
+
+    def __init__(
+        self, job_index: int, job_identity: str, cause_type: str, cause_message: str
+    ) -> None:
+        super().__init__(
+            f"job {job_index} ({job_identity}) failed in pool worker: "
+            f"{cause_type}: {cause_message}"
+        )
+        self.job_index = job_index
+        self.job_identity = job_identity
+        self.cause_type = cause_type
+        self.cause_message = cause_message
+
+    def __reduce__(self):
+        # Default Exception reduction re-calls __init__ with self.args (the
+        # formatted message), which has the wrong arity — rebuild from the
+        # structured fields instead so the error pickles across the pool.
+        return (
+            WorkerJobError,
+            (self.job_index, self.job_identity, self.cause_type, self.cause_message),
+        )
+
+
+def _scalar_run_counters(tele: Any, result: SimulationResult, backend: str) -> None:
+    """Hot-loop totals for one scalar execution, read *after* the run.
+
+    Everything here is derived from the finished result — the simulator's
+    per-slot loop is untouched, which is what keeps the disabled (and even
+    the enabled) overhead off the hot path.
+    """
+    tele.counter("slots_simulated", result.num_slots, backend=backend)
+    tele.counter("packets_processed", len(result.packets), backend=backend)
+    if result.trace is not None:
+        tele.counter("trace_materialisations", 1, backend=backend)
+    if result.potential is not None:
+        tele.counter("potential_materialisations", 1, backend=backend)
+
+
 def execute_job(job: RunJob) -> SimulationResult:
     """Run one job to completion.
 
     Module-level (rather than a backend method) so process pools can pickle
-    it by reference and ship only the job to the worker.
+    it by reference and ship only the job to the worker.  When a telemetry
+    session is active in this process, the build and simulate phases are
+    timed as spans; the disabled path adds one no-op lookup.
     """
-    return Simulator(job.build_config()).run()
+    tele = current_telemetry()
+    if not tele.enabled:
+        return Simulator(job.build_config()).run()
+    with tele.span("build", kind="phase", backend="serial"):
+        config = job.build_config()
+    with tele.span("simulate", kind="phase", backend="serial"):
+        result = Simulator(config).run()
+    _scalar_run_counters(tele, result, "serial")
+    return result
+
+
+def _execute_pool_job(
+    indexed_job: tuple[int, RunJob],
+) -> tuple[SimulationResult, int, float, float]:
+    """Worker-side job execution: timed, attributed, and error-wrapped.
+
+    Returns ``(result, worker_pid, started, ended)`` with monotonic
+    timestamps, so the parent can reconstruct queue-wait vs run time.
+    Failures re-raise as :class:`WorkerJobError` carrying the job index
+    and spec identity (the satellite bugfix: a bare worker exception is
+    unattributable in a large sweep).
+    """
+    index, job = indexed_job
+    started = time.monotonic()
+    try:
+        config = job.build_config()
+        result = Simulator(config).run()
+    except Exception as exc:
+        raise WorkerJobError(
+            index, job_identity(job), type(exc).__name__, str(exc)
+        ) from exc
+    return result, os.getpid(), started, time.monotonic()
 
 
 class ExecutionBackend(abc.ABC):
@@ -104,7 +224,15 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def run(self, jobs: Sequence[RunJob]) -> list[SimulationResult]:
-        return [execute_job(job) for job in jobs]
+        tele = current_telemetry()
+        if not tele.enabled:
+            return [execute_job(job) for job in jobs]
+        results: list[SimulationResult] = []
+        total = len(jobs)
+        for index, job in enumerate(jobs):
+            results.append(execute_job(job))
+            tele.progress("serial jobs", index + 1, total, backend=self.name)
+        return results
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -147,11 +275,36 @@ class ProcessPoolBackend(ExecutionBackend):
         # so result metadata reporting this backend is never describing a
         # silent serial fallback.
         self._check_picklable(jobs)
+        tele = current_telemetry()
         context = get_context(self.start_method)
+        submitted = time.monotonic()
         with context.Pool(processes=min(self.workers, len(jobs))) as pool:
             # Pool.map preserves input order, which is what makes the
             # backend deterministic regardless of completion order.
-            return pool.map(execute_job, jobs, chunksize=self.chunksize)
+            outcomes = pool.map(
+                _execute_pool_job, list(enumerate(jobs)), chunksize=self.chunksize
+            )
+        results: list[SimulationResult] = []
+        for index, (result, worker_pid, started, ended) in enumerate(outcomes):
+            results.append(result)
+            if tele.enabled:
+                # Workers time themselves on CLOCK_MONOTONIC, which is
+                # system-wide on Linux, so queue-wait (submit → worker
+                # start) and run time are directly comparable.
+                tele.span_record(
+                    "simulate",
+                    ended - started,
+                    kind="phase",
+                    backend=self.name,
+                    job=index,
+                    worker_pid=worker_pid,
+                    queue_wait=round(max(0.0, started - submitted), 6),
+                )
+        if tele.enabled:
+            for result in results:
+                _scalar_run_counters(tele, result, self.name)
+            tele.progress("pool jobs", len(jobs), len(jobs), backend=self.name)
+        return results
 
     @staticmethod
     def _check_picklable(jobs: Sequence[RunJob]) -> None:

@@ -32,6 +32,7 @@ from typing import Any, Sequence
 
 from repro.exec.backends import ExecutionBackend, RunJob, SerialBackend
 from repro.sim.results import SimulationResult
+from repro.telemetry import current as current_telemetry
 
 
 class ResultCacheBackend(ExecutionBackend):
@@ -99,31 +100,43 @@ class ResultCacheBackend(ExecutionBackend):
             path.unlink(missing_ok=True)
 
     def run(self, jobs: Sequence[RunJob]) -> list[SimulationResult]:
+        tele = current_telemetry()
         jobs = list(jobs)
         results: list[SimulationResult | None] = [None] * len(jobs)
         keys: list[tuple[str, int, str] | None] = []
         missing: list[int] = []
-        for index, job in enumerate(jobs):
-            key = self._key_of(job)
-            keys.append(key)
-            cached = self.store.get_result(*key) if key is not None else None
-            if cached is not None:
-                self.hits += 1
-                results[index] = cached
-            else:
-                self.misses += 1
-                missing.append(index)
+        with tele.span("commit", kind="phase", backend=self.name, op="lookup"):
+            for index, job in enumerate(jobs):
+                key = self._key_of(job)
+                keys.append(key)
+                cached = self.store.get_result(*key) if key is not None else None
+                if cached is not None:
+                    self.hits += 1
+                    results[index] = cached
+                else:
+                    self.misses += 1
+                    missing.append(index)
+        if tele.enabled:
+            tele.event(
+                "cache_lookup",
+                jobs=len(jobs),
+                hits=len(jobs) - len(missing),
+                misses=len(missing),
+            )
         if missing:
             fresh = self.inner.run([jobs[index] for index in missing])
-            for index, result in zip(missing, fresh):
-                results[index] = result
-                key = keys[index]
-                if key is not None:
-                    # put_run is idempotent: a pre-existing row (e.g. one
-                    # whose artifact bytes were corrupted on disk — the
-                    # miss we just recovered from) keeps its provenance
-                    # while the artifact write heals the damaged file.
-                    self.store.put_run(*key, result)
+            with tele.span(
+                "commit", kind="phase", backend=self.name, op="store", jobs=len(missing)
+            ):
+                for index, result in zip(missing, fresh):
+                    results[index] = result
+                    key = keys[index]
+                    if key is not None:
+                        # put_run is idempotent: a pre-existing row (e.g. one
+                        # whose artifact bytes were corrupted on disk — the
+                        # miss we just recovered from) keeps its provenance
+                        # while the artifact write heals the damaged file.
+                        self.store.put_run(*key, result)
         return results  # type: ignore[return-value]
 
     def result_layout(self, job: RunJob) -> str | None:

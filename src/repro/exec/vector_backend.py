@@ -36,6 +36,7 @@ from typing import Any, Sequence
 
 from repro.exec.backends import ExecutionBackend, RunJob, SerialBackend
 from repro.sim.results import SimulationResult
+from repro.telemetry import current as current_telemetry
 
 
 @functools.lru_cache(maxsize=4096)
@@ -162,40 +163,70 @@ class VectorBackend(ExecutionBackend):
         self.mega_batches = 0
 
     def run(self, jobs: Sequence[RunJob]) -> list[SimulationResult]:
-        from repro.sim.vector import VectorSimulator
-
+        tele = current_telemetry()
         jobs = list(jobs)
         results: list[SimulationResult | None] = [None] * len(jobs)
         groups: dict[Any, list[int]] = {}
         fallback_indices: list[int] = []
-        for index, job in enumerate(jobs):
-            key = self._group_key(job)
-            if key is None:
-                fallback_indices.append(index)
-            else:
-                groups.setdefault(key, []).append(index)
-        # Stack compatible groups into mega-batches: one ragged lockstep
-        # launch per kernel family instead of one launch per configuration.
-        batches: dict[Any, list[list[int]]] = {}
-        for key, indices in groups.items():
-            mega_key = (
-                self._mega_key(jobs[indices[0]]) if self.mega_batch else None
-            )
-            batches.setdefault(mega_key if mega_key is not None else key, []).append(
-                indices
-            )
+        # Grouping probes every job's vector support — on a cold process
+        # that also pays the engine/kernel modules' import cost (the
+        # deferred import below), so it is timed as build work rather
+        # than left outside the phase accounting.
+        with tele.span("build", kind="phase", backend=self.name, op="group"):
+            from repro.sim.vector import VectorSimulator
+            for index, job in enumerate(jobs):
+                key = self._group_key(job)
+                if key is None:
+                    fallback_indices.append(index)
+                    if tele.enabled:
+                        # Name the fallback at the decision point — a silent
+                        # serial detour in a big sweep is exactly what the
+                        # telemetry layer exists to surface.
+                        support = getattr(job, "vector_support", None)
+                        reason = support() if callable(support) else "opaque job"
+                        tele.event(
+                            "vector_fallback",
+                            reason=str(reason or "ungroupable"),
+                            job=index,
+                        )
+                else:
+                    groups.setdefault(key, []).append(index)
+            # Stack compatible groups into mega-batches: one ragged lockstep
+            # launch per kernel family instead of one launch per configuration.
+            batches: dict[Any, list[list[int]]] = {}
+            for key, indices in groups.items():
+                mega_key = (
+                    self._mega_key(jobs[indices[0]]) if self.mega_batch else None
+                )
+                batches.setdefault(
+                    mega_key if mega_key is not None else key, []
+                ).append(indices)
+        done_batches = 0
         for index_groups in batches.values():
-            if len(index_groups) == 1:
-                batch = VectorSimulator.from_specs(
-                    [jobs[index] for index in index_groups[0]]
-                )
-            else:
-                batch = VectorSimulator.from_spec_groups(
-                    [[jobs[index] for index in indices] for indices in index_groups]
-                )
             flat = [index for indices in index_groups for index in indices]
+            if tele.enabled:
+                tele.event(
+                    "vector_batch",
+                    groups=len(index_groups),
+                    jobs=len(flat),
+                    mega=len(index_groups) > 1,
+                )
+            with tele.span(
+                "build", kind="phase", backend=self.name, jobs=len(flat)
+            ):
+                if len(index_groups) == 1:
+                    batch = VectorSimulator.from_specs(
+                        [jobs[index] for index in index_groups[0]]
+                    )
+                else:
+                    batch = VectorSimulator.from_spec_groups(
+                        [[jobs[index] for index in indices] for indices in index_groups]
+                    )
             for index, result in zip(flat, batch.run()):
                 results[index] = result
+            done_batches += 1
+            if tele.enabled:
+                tele.progress("vector batches", done_batches, len(batches))
         if fallback_indices:
             fresh = self.fallback.run([jobs[index] for index in fallback_indices])
             for index, result in zip(fallback_indices, fresh):

@@ -358,14 +358,19 @@ class PlanResults:
 
     def group_rows(self) -> list[dict[str, Any]]:
         """One aggregated table row per group, in group order."""
-        return [
-            aggregate_replicate_row(
-                self.for_group(group.group_id),
-                protocol_name=group.protocol_name,
-                extra_columns=dict(group.columns),
-            )
-            for group in self.plan.groups
-        ]
+        from repro.telemetry import current as current_telemetry
+
+        with current_telemetry().span(
+            "finalize", kind="phase", op="aggregate-rows", groups=len(self.plan.groups)
+        ):
+            return [
+                aggregate_replicate_row(
+                    self.for_group(group.group_id),
+                    protocol_name=group.protocol_name,
+                    extra_columns=dict(group.columns),
+                )
+                for group in self.plan.groups
+            ]
 
 
 def aggregate_replicate_row(

@@ -50,6 +50,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.telemetry import current as current_telemetry
+
 from repro.adversary.adaptive import BacklogCouplingAdversary
 from repro.adversary.arrivals import ArrivalProcess
 from repro.adversary.composite import CompositeAdversary
@@ -532,7 +534,40 @@ class VectorSimulator:
     # -- Execution -----------------------------------------------------------
 
     def run(self) -> list[SimulationResult]:
-        """Simulate every replication and return results in input order."""
+        """Simulate every replication and return results in input order.
+
+        The lockstep loop (:meth:`_simulate`) and result materialisation
+        (:meth:`_finalize`) are timed as separate telemetry phases when a
+        session is active, and the hot-loop counters (kernel invocations,
+        slots simulated, feedback iterations, trace/potential
+        materialisations) are all derived from post-loop state — nothing
+        is sampled inside the per-slot path.
+        """
+        tele = current_telemetry()
+        if not tele.enabled:
+            finalize_args, _ = self._simulate()
+            return self._finalize(*finalize_args)
+        replications = len(self._seeds)
+        with tele.span(
+            "simulate",
+            kind="phase",
+            backend="vector",
+            replications=replications,
+            groups=self.num_groups,
+        ):
+            finalize_args, stats = self._simulate()
+        with tele.span(
+            "finalize", kind="phase", backend="vector", replications=replications
+        ):
+            results = self._finalize(*finalize_args)
+        tele.counter("replications", replications, backend="vector")
+        for name, value in stats.items():
+            if value:
+                tele.counter(name, value, backend="vector")
+        return results
+
+    def _simulate(self):
+        """Run the lockstep loop; return (finalize args, post-loop stats)."""
         groups = self._groups
         max_slots = self._max_slots
         stop_when_drained = self._stop_when_drained
@@ -875,11 +910,24 @@ class VectorSimulator:
                                 if seg.live and not running[seg.rows].any():
                                     seg.live = False
 
-        return self._finalize(
+        # Post-loop telemetry stats: `slot` is exactly how many lockstep
+        # kernel rounds ran, and every round of a reactive/adaptive batch
+        # is one feedback-loop iteration (senders/contention handed back
+        # to the jammer kernels).
+        stats = {
+            "kernel_invocations": int(slot),
+            "slots_simulated": int(num_slots.sum()),
+            "feedback_iterations": int(slot) if (reactive or needs_contention) else 0,
+            "mega_batch_segments": len(segments),
+            "trace_materialisations": replications if collect_trace else 0,
+            "potential_materialisations": replications if collect_potential else 0,
+        }
+        finalize_args = (
             recorder, num_slots, backlog, segments, injected,
             arrival_slot, departure_slot, sends, listens,
             trace_senders, trace_listeners, has_windows,
         )
+        return finalize_args, stats
 
     # -- Finalisation --------------------------------------------------------
 

@@ -115,6 +115,17 @@ CREATE TABLE IF NOT EXISTS campaign_runs (
     backend_layout TEXT NOT NULL,
     PRIMARY KEY (campaign_id, position)
 );
+CREATE TABLE IF NOT EXISTS campaign_units (
+    campaign_id TEXT NOT NULL,
+    unit_index INTEGER NOT NULL,
+    group_id INTEGER NOT NULL,
+    protocol TEXT,
+    backend_layout TEXT NOT NULL,
+    runs INTEGER NOT NULL,
+    started_at TEXT,
+    elapsed_seconds REAL NOT NULL,
+    PRIMARY KEY (campaign_id, unit_index)
+);
 """
 
 
@@ -447,6 +458,8 @@ class ResultsStore:
         entries: Iterable[tuple[int, int, str, str, int, str]],
         *,
         elapsed_seconds: float,
+        unit_index: int | None = None,
+        started_at: str | None = None,
     ) -> None:
         """Commit one completed campaign unit.
 
@@ -454,7 +467,15 @@ class ResultsStore:
         backend_layout)`` tuples.  One transaction per unit is the
         checkpoint granularity: after this returns, a kill loses at most
         the unit in flight.
+
+        When ``unit_index`` is given, a per-unit wall-clock span is also
+        persisted in ``campaign_units`` (in the same transaction), which
+        is what backs ``campaign status``'s elapsed/ETA display.  Unit
+        spans are provenance, not science: :meth:`fingerprint` covers only
+        ``runs`` and ``campaign_runs``, so recording them — always, with
+        telemetry on or off — cannot move a fingerprint.
         """
+        entries = list(entries)
         with self._connection:
             self._connection.executemany(
                 "INSERT OR REPLACE INTO campaign_runs "
@@ -467,6 +488,30 @@ class ResultsStore:
                 "WHERE campaign_id = ?",
                 (elapsed_seconds, campaign_id),
             )
+            if unit_index is not None and entries:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO campaign_units (campaign_id, "
+                    "unit_index, group_id, protocol, backend_layout, runs, "
+                    "started_at, elapsed_seconds) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        campaign_id,
+                        unit_index,
+                        entries[0][1],
+                        entries[0][2],
+                        entries[0][5],
+                        len(entries),
+                        started_at,
+                        elapsed_seconds,
+                    ),
+                )
+
+    def campaign_units(self, campaign_id: str) -> list[dict[str, Any]]:
+        """Persisted per-unit wall-clock spans, in unit order."""
+        rows = self._connection.execute(
+            "SELECT * FROM campaign_units WHERE campaign_id = ? ORDER BY unit_index",
+            (campaign_id,),
+        ).fetchall()
+        return [dict(row) for row in rows]
 
     def finish_campaign(self, campaign_id: str) -> None:
         with self._connection:

@@ -1,0 +1,169 @@
+"""Telemetry sinks: JSONL file, in-memory, and live stderr progress.
+
+Sinks receive the flat event dicts described in
+:mod:`repro.telemetry.core` and must never raise into the instrumented
+code path — a broken disk or closed pipe should degrade observability,
+not a simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, TextIO
+
+
+class JsonlSink:
+    """Appends one JSON object per line to a file, flushing every line.
+
+    The per-line flush is the SIGKILL contract: if the process dies
+    mid-write, at most the final line is truncated, and
+    :func:`repro.telemetry.summarize.read_events` tolerates exactly that.
+    Opened in append mode so several sessions (e.g. an interrupted
+    campaign and its resume) can share one file, distinguished by their
+    ``run`` correlation ids.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: TextIO | None = self.path.open("a", encoding="utf-8")
+
+    def emit(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            return
+        try:
+            self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._handle.flush()
+        except (OSError, ValueError):
+            self._handle = None
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+
+class MemorySink:
+    """Collects events in a list — the test double.
+
+    ``records`` holds every emitted dict in order; helpers pull out the
+    shapes tests assert on most.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        # Copy: the session reuses no dicts today, but tests should not
+        # depend on that.
+        self.records.append(dict(record))
+
+    def close(self) -> None:
+        pass
+
+    def spans(self, name: str | None = None) -> list[dict[str, Any]]:
+        return [
+            r
+            for r in self.records
+            if r.get("ev") == "span" and (name is None or r.get("name") == name)
+        ]
+
+    def counters(self, name: str | None = None) -> list[dict[str, Any]]:
+        return [
+            r
+            for r in self.records
+            if r.get("ev") == "counter" and (name is None or r.get("name") == name)
+        ]
+
+    def events(self, name: str | None = None) -> list[dict[str, Any]]:
+        return [
+            r
+            for r in self.records
+            if r.get("ev") == "event" and (name is None or r.get("name") == name)
+        ]
+
+    def counter_total(self, name: str) -> float:
+        return sum(r["value"] for r in self.counters(name))
+
+
+class ProgressSink:
+    """Renders live completion, rate, and ETA on stderr.
+
+    Consumes ``progress`` events (``label``, ``done``, ``total``) and
+    ignores everything else.  Rate and ETA are computed per label from
+    the monotonic clock between the first and latest event, so a
+    campaign's unit progress and a sweep's spec progress render
+    independently.  Output is throttled to ~10 lines/second and drawn
+    with carriage returns; a newline is written when a label completes
+    or the sink closes, so scrollback keeps one final line per label.
+    """
+
+    #: Minimum seconds between repaints (final updates always paint).
+    min_interval = 0.1
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._started: dict[str, tuple[float, int]] = {}
+        self._last_paint = 0.0
+        self._dirty_line = False
+
+    def emit(self, record: dict[str, Any]) -> None:
+        if record.get("ev") != "progress":
+            return
+        label = str(record.get("label", ""))
+        done = int(record.get("done", 0))
+        total = int(record.get("total", 0))
+        now = time.monotonic()
+        if label not in self._started:
+            # Anchor the rate at the first observation; `done` may be
+            # non-zero on resume, and only work after the anchor counts.
+            self._started[label] = (now, done)
+        final = total > 0 and done >= total
+        if not final and now - self._last_paint < self.min_interval:
+            return
+        self._last_paint = now
+        t0, done0 = self._started[label]
+        elapsed = now - t0
+        rate = (done - done0) / elapsed if elapsed > 0 and done > done0 else 0.0
+        if rate > 0 and total > done:
+            eta = f"eta {_format_seconds((total - done) / rate)}"
+        elif final:
+            eta = f"done in {_format_seconds(elapsed)}"
+        else:
+            eta = "eta --"
+        line = f"{label}: {done}/{total} ({rate:.1f}/s, {eta})"
+        try:
+            self._stream.write("\r" + line.ljust(70))
+            if final:
+                self._stream.write("\n")
+                self._dirty_line = False
+            else:
+                self._dirty_line = True
+            self._stream.flush()
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        if self._dirty_line:
+            try:
+                self._stream.write("\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass
+            self._dirty_line = False
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"

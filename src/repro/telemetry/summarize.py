@@ -1,0 +1,169 @@
+"""Aggregate a telemetry JSONL file into per-phase/per-backend tables.
+
+The reader tolerates a truncated final line (the expected artifact of a
+SIGKILL mid-write, see :class:`repro.telemetry.sinks.JsonlSink`) and
+skips any malformed interior line rather than failing the whole file.
+
+The summary decomposes wall-clock by span kind:
+
+* ``root`` spans (sweep / scenario / campaign) define total wall clock.
+* ``phase`` spans (build / simulate / finalize / commit) decompose it;
+  their share of root time is the ``coverage`` figure the acceptance
+  bar cares about (≥95% means the breakdown explains the run).
+* ``unit`` spans (campaign checkpoint units) are reported separately
+  and excluded from coverage — the phases inside them already count.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a telemetry JSONL file, tolerating a truncated final line."""
+    events: list[dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8", errors="replace")
+    lines = text.split("\n")
+    last_index = len(lines) - 1
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index >= last_index - 1:
+                # Truncated tail from a kill mid-write: tolerated.
+                continue
+            # Malformed interior lines are skipped too — a summary of
+            # most of a file beats no summary — but they are not the
+            # expected case, so keep scanning rather than aborting.
+            continue
+        if isinstance(record, dict):
+            events.append(record)
+    return events
+
+
+def summarize_events(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Fold telemetry events into the summary structure rendered below.
+
+    Returns a dict with ``runs`` (correlation ids seen), ``phases`` /
+    ``roots`` / ``units`` span tables keyed by ``(name, backend)``,
+    ``counters`` totals, ``events`` counts keyed by ``(name, key-detail)``,
+    and ``coverage`` (phase seconds / root seconds, ``None`` when no
+    root span exists).
+    """
+    runs: list[str] = []
+    phases: dict[tuple[str, str], dict[str, Any]] = {}
+    roots: dict[tuple[str, str], dict[str, Any]] = {}
+    units: dict[tuple[str, str], dict[str, Any]] = {}
+    counters: dict[str, float] = {}
+    event_counts: dict[str, int] = {}
+
+    def fold_span(table: dict[tuple[str, str], dict[str, Any]], record: dict[str, Any]) -> None:
+        attrs = record.get("attrs") or {}
+        key = (str(record.get("name")), str(attrs.get("backend", "-")))
+        row = table.setdefault(
+            key, {"name": key[0], "backend": key[1], "count": 0, "total": 0.0, "max": 0.0}
+        )
+        duration = float(record.get("dur", 0.0))
+        row["count"] += 1
+        row["total"] += duration
+        row["max"] = max(row["max"], duration)
+
+    for record in events:
+        run = record.get("run")
+        if run and run not in runs:
+            runs.append(run)
+        kind = record.get("ev")
+        if kind == "span":
+            attrs = record.get("attrs") or {}
+            span_kind = attrs.get("kind", "phase")
+            if span_kind == "root":
+                fold_span(roots, record)
+            elif span_kind == "unit":
+                fold_span(units, record)
+            else:
+                fold_span(phases, record)
+        elif kind == "counter":
+            name = str(record.get("name"))
+            counters[name] = counters.get(name, 0.0) + float(record.get("value", 0.0))
+        elif kind == "event":
+            attrs = record.get("attrs") or {}
+            name = str(record.get("name"))
+            reason = attrs.get("reason")
+            label = f"{name}[{reason}]" if reason else name
+            event_counts[label] = event_counts.get(label, 0) + 1
+
+    for table in (phases, roots, units):
+        for row in table.values():
+            row["mean"] = row["total"] / row["count"] if row["count"] else 0.0
+
+    phase_total = sum(row["total"] for row in phases.values())
+    root_total = sum(row["total"] for row in roots.values())
+    coverage = phase_total / root_total if root_total > 0 else None
+    return {
+        "runs": runs,
+        "phases": sorted(phases.values(), key=lambda r: -r["total"]),
+        "roots": sorted(roots.values(), key=lambda r: -r["total"]),
+        "units": sorted(units.values(), key=lambda r: -r["total"]),
+        "counters": dict(sorted(counters.items())),
+        "events": dict(sorted(event_counts.items())),
+        "phase_seconds": phase_total,
+        "root_seconds": root_total,
+        "coverage": coverage,
+    }
+
+
+def summarize_file(path: str | Path) -> dict[str, Any]:
+    return summarize_events(read_events(path))
+
+
+def render_summary(summary: dict[str, Any]) -> str:
+    """Render :func:`summarize_events` output as an aligned text table."""
+    lines: list[str] = []
+    runs = summary["runs"]
+    lines.append(f"telemetry summary — {len(runs)} session(s): {', '.join(runs) or '-'}")
+    lines.append("")
+
+    def span_table(title: str, rows: list[dict[str, Any]], denom: float) -> None:
+        if not rows:
+            return
+        lines.append(title)
+        header = f"  {'name':<18} {'backend':<22} {'count':>6} {'total_s':>10} {'mean_s':>10} {'max_s':>10} {'share':>7}"
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for row in rows:
+            share = f"{row['total'] / denom:6.1%}" if denom > 0 else "     -"
+            lines.append(
+                f"  {row['name']:<18} {row['backend']:<22} {row['count']:>6} "
+                f"{row['total']:>10.4f} {row['mean']:>10.4f} {row['max']:>10.4f} {share:>7}"
+            )
+        lines.append("")
+
+    span_table("roots (total wall-clock)", summary["roots"], summary["root_seconds"])
+    span_table("phases (per-phase / per-backend breakdown)", summary["phases"], summary["root_seconds"])
+    span_table("campaign units", summary["units"], summary["root_seconds"])
+
+    if summary["counters"]:
+        lines.append("counters")
+        for name, value in summary["counters"].items():
+            rendered = f"{int(value)}" if float(value).is_integer() else f"{value:.4f}"
+            lines.append(f"  {name:<42} {rendered:>14}")
+        lines.append("")
+    if summary["events"]:
+        lines.append("events")
+        for name, count in summary["events"].items():
+            lines.append(f"  {name:<42} {count:>14}")
+        lines.append("")
+
+    if summary["coverage"] is not None:
+        lines.append(
+            f"coverage: phases explain {summary['coverage']:.1%} of "
+            f"{summary['root_seconds']:.4f}s root wall-clock"
+        )
+    else:
+        lines.append("coverage: no root spans in file")
+    return "\n".join(lines)
