@@ -118,6 +118,33 @@ def welch_t_test(
     return t, df, min(1.0, p_value)
 
 
+def benjamini_hochberg(
+    p_values: Sequence[float], alpha: float = 0.05
+) -> list[bool]:
+    """Benjamini–Hochberg FDR control: which hypotheses are rejected.
+
+    Returns one boolean per input p-value (in input order).  Used by the
+    trajectory diff, where one comparison per window per metric would make
+    a plain per-test ``alpha`` either far too loose (many false flags over
+    hundreds of windows) or, Bonferroni-corrected, far too strict to catch
+    a regression confined to a few windows.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0, 1)")
+    m = len(p_values)
+    if m == 0:
+        return []
+    for p in p_values:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p-values must lie in [0, 1], got {p!r}")
+    order = sorted(range(m), key=lambda index: p_values[index])
+    threshold = 0.0
+    for rank, index in enumerate(order, start=1):
+        if p_values[index] <= rank * alpha / m:
+            threshold = p_values[index]
+    return [p <= threshold for p in p_values] if threshold else [False] * m
+
+
 @dataclass(frozen=True)
 class ConfidenceInterval:
     """A point estimate with a symmetric-coverage interval."""

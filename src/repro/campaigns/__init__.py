@@ -24,7 +24,11 @@ from repro.campaigns.runner import (
     resume_campaign,
     start_campaign,
 )
-from repro.campaigns.diff import diff_campaigns, diff_campaign_vs_bench
+from repro.campaigns.diff import (
+    diff_campaign_trajectories,
+    diff_campaign_vs_bench,
+    diff_campaigns,
+)
 
 __all__ = [
     "CampaignError",
@@ -33,6 +37,7 @@ __all__ = [
     "campaign_report",
     "campaign_status_rows",
     "default_campaign_id",
+    "diff_campaign_trajectories",
     "diff_campaign_vs_bench",
     "diff_campaigns",
     "resume_campaign",

@@ -26,6 +26,7 @@ from typing import Any
 
 from repro.analysis.equivalence import EquivalenceReport, compare_result_sets
 from repro.campaigns.runner import CampaignError
+from repro.dynamics import TrajectoryDiff, compare_trajectory_sets
 from repro.sim.results import SimulationResult
 from repro.store import ResultsStore
 
@@ -37,12 +38,15 @@ class CampaignDiff:
     left_id: str
     right_id: str
     reports: dict[str, EquivalenceReport] = field(default_factory=dict)
+    trajectories: dict[str, TrajectoryDiff] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
     missing: list[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
         if self.missing:
+            return False
+        if not all(diff.passed for diff in self.trajectories.values()):
             return False
         return all(report.passed for report in self.reports.values())
 
@@ -55,6 +59,11 @@ class CampaignDiff:
             report = self.reports[protocol]
             lines.append(f"-- [{protocol}]")
             lines.extend("  " + line for line in report.render().splitlines())
+            trajectory = self.trajectories.get(protocol)
+            if trajectory is not None:
+                lines.extend(
+                    "  " + line for line in trajectory.render().splitlines()
+                )
         lines.extend(f"  missing: {item}" for item in self.missing)
         lines.extend(f"  note: {note}" for note in self.notes)
         return "\n".join(lines)
@@ -93,6 +102,9 @@ def diff_campaigns(
     alpha: float = 0.001,
     mean_alpha: float = 0.002,
     relative_tolerance: float = 0.15,
+    trajectories: bool = False,
+    trajectory_window: int | None = None,
+    trajectory_alpha: float = 0.01,
 ) -> CampaignDiff:
     """Compare two campaigns' stored results metric-by-metric.
 
@@ -100,6 +112,10 @@ def diff_campaigns(
     to ``left_store``).  Groups are matched by protocol name; a protocol
     present on only one side is itself flagged as a regression (coverage
     loss is a regression too).
+
+    ``trajectories=True`` additionally compares the *paths* window by
+    window (:func:`repro.dynamics.compare_trajectory_sets`), which catches
+    a mid-run regression whose end-of-run aggregates cancel out.
     """
     if right_id is None:
         raise CampaignError("diff needs two campaign ids")
@@ -142,7 +158,50 @@ def diff_campaigns(
             relative_tolerance=relative_tolerance,
             labels=(left_id, right_id),
         )
+        if trajectories:
+            diff.trajectories[protocol] = compare_trajectory_sets(
+                left[protocol],
+                right[protocol],
+                window=trajectory_window,
+                alpha=trajectory_alpha,
+                relative_tolerance=relative_tolerance,
+            )
     return diff
+
+
+def diff_campaign_trajectories(
+    left_store: ResultsStore,
+    left_id: str,
+    right_store: ResultsStore | None = None,
+    right_id: str | None = None,
+    *,
+    window: int | None = None,
+    alpha: float = 0.01,
+    relative_tolerance: float = 0.15,
+) -> dict[str, TrajectoryDiff]:
+    """Trajectory-only comparison of two campaigns, per protocol.
+
+    The backing data comes from the stored result artifacts' per-slot
+    series (re-windowed at ``window``), so any two stored campaigns can be
+    compared — recording them with ``--dynamics`` is not required.
+    Protocols present on only one side are skipped (``campaign diff``
+    already flags coverage loss).
+    """
+    if right_id is None:
+        raise CampaignError("trajectory diff needs two campaign ids")
+    right_store = right_store or left_store
+    left = _campaign_results(left_store, left_id)
+    right = _campaign_results(right_store, right_id)
+    return {
+        protocol: compare_trajectory_sets(
+            left[protocol],
+            right[protocol],
+            window=window,
+            alpha=alpha,
+            relative_tolerance=relative_tolerance,
+        )
+        for protocol in sorted(set(left) & set(right))
+    }
 
 
 def diff_campaign_vs_bench(

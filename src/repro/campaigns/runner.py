@@ -268,7 +268,11 @@ def _execute(
                     for index in unit.indices
                 ],
                 elapsed_seconds=elapsed,
-                unit_index=unit_index,
+                # A pure-skip unit (everything already stored — the resume
+                # path) must not overwrite the original unit span with a
+                # near-zero one: the persisted spans are what status/ETA
+                # derive per-unit wall-clock from.
+                unit_index=unit_index if pending else None,
                 started_at=unit_started_at,
             )
         executed += len(pending)
@@ -293,6 +297,11 @@ def _execute(
                 total_runs,
                 units_done=units_done,
                 units=len(units),
+                # Lets the progress sink rate-limit on *executed* work: a
+                # resumed campaign skips stored runs near-instantly, and a
+                # rate derived from skipped+executed would project a
+                # nonsense ETA for the real work that follows.
+                executed=executed,
             )
         if fail_after_units is not None and units_done >= fail_after_units:
             if units_done < len(units):
@@ -325,12 +334,19 @@ def start_campaign(
     campaign_id: str | None = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     fail_after_units: int | None = None,
+    dynamics_window: int = 0,
 ) -> CampaignOutcome:
     """Create and execute a new campaign for ``scenario``.
 
     The scenario definition, resolved seed list, scale, and backend are
     recorded in the store so :func:`resume_campaign` can rebuild the exact
     same plan later — including from a different process after a kill.
+
+    ``dynamics_window`` turns on windowed dynamics sampling for executed
+    runs (trajectories are persisted next to the run artifacts).  It is an
+    observability knob, not part of the campaign's identity: spec hashes
+    and the store fingerprint are unchanged by it, and a resume may choose
+    a different window (only runs actually executed record trajectories).
     """
     from repro.scenarios.runner import build_plan, scenario_seeds
 
@@ -359,7 +375,7 @@ def start_campaign(
         )
     tele = current_telemetry()
     with tele.span("build", kind="phase", backend=backend_name, op="plan"):
-        plan = build_plan(scenario, scale, seed_list)
+        plan = build_plan(scenario, scale, seed_list, dynamics_window=dynamics_window)
     with tele.span(
         "commit", kind="phase", backend=backend_name, op="create-campaign"
     ):
@@ -392,6 +408,7 @@ def resume_campaign(
     workers: int | None = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     fail_after_units: int | None = None,
+    dynamics_window: int = 0,
 ) -> CampaignOutcome:
     """Complete an interrupted campaign (no-op when already complete).
 
@@ -438,7 +455,9 @@ def resume_campaign(
     with current_telemetry().span(
         "build", kind="phase", backend=row["backend"], op="plan"
     ):
-        plan = build_plan(scenario, row["scale"], seeds)
+        plan = build_plan(
+            scenario, row["scale"], seeds, dynamics_window=dynamics_window
+        )
     if len(plan) != row["total_runs"]:
         raise CampaignError(
             f"campaign {campaign_id!r}: rebuilt plan has {len(plan)} runs but "

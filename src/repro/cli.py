@@ -76,6 +76,25 @@ Subcommands:
     root wall-clock explained by phase spans).  Telemetry is RNG- and
     result-inert: fingerprints with it on and off are bit-identical.
 
+``dynamics``
+    Windowed simulation-dynamics trajectories (:mod:`repro.dynamics`).
+    ``run``, ``scenario run``, ``campaign run`` and ``campaign resume``
+    accept ``--dynamics [W]`` (sample throughput/backlog/contention/...
+    every ``W`` slots into a compact per-run trajectory; stored runs
+    persist it in the results store); then::
+
+        python -m repro dynamics show --store runs/
+        python -m repro dynamics show 1a2b3c --seed 7 --store runs/
+        python -m repro dynamics export 1a2b3c --seed 7 --format csv
+        python -m repro dynamics compare CAMPAIGN_A CAMPAIGN_B --store runs/
+
+    ``show`` lists or sparkline-renders stored trajectories, ``export``
+    emits JSON/CSV, and ``compare`` diffs two campaigns window by window
+    (Welch + Benjamini–Hochberg), exiting non-zero on a mid-run
+    regression even when end-of-run aggregates agree.  Like telemetry,
+    dynamics are RNG- and result-inert: store fingerprints with
+    ``--dynamics`` on and off are bit-identical.
+
 ``cache``
     Operational tooling for the result cache / results store::
 
@@ -129,6 +148,7 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="directory for the on-disk result cache (off when omitted)",
     )
+    _add_dynamics_option(parser)
     parser.add_argument(
         "--out",
         default=None,
@@ -145,6 +165,37 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
         ),
     )
     _add_telemetry_options(parser)
+
+
+def _add_dynamics_option(parser: argparse.ArgumentParser) -> None:
+    """``--dynamics [W]`` shared by run/scenario run/campaign run|resume."""
+    parser.add_argument(
+        "--dynamics",
+        nargs="?",
+        const=-1,  # bare flag: use the library default window
+        type=int,
+        default=None,
+        metavar="W",
+        help=(
+            "record a windowed dynamics trajectory per run, sampled every W "
+            "slots (bare flag: default window); inspect with "
+            "'python -m repro dynamics show'"
+        ),
+    )
+
+
+def _dynamics_window(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Resolve ``--dynamics`` to a sampling window (0 = off)."""
+    raw = getattr(args, "dynamics", None)
+    if raw is None:
+        return 0
+    if raw == -1:
+        from repro.dynamics import DEFAULT_WINDOW
+
+        return DEFAULT_WINDOW
+    if raw < 1:
+        parser.error("--dynamics window must be a positive slot count")
+    return raw
 
 
 def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
@@ -330,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="scalar runs per checkpoint transaction (default: 8)",
     )
+    _add_dynamics_option(campaign_run)
     _add_telemetry_options(campaign_run)
 
     campaign_resume = campaign_sub.add_parser(
@@ -341,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_resume.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N"
     )
+    _add_dynamics_option(campaign_resume)
     _add_telemetry_options(campaign_resume)
 
     campaign_status = campaign_sub.add_parser(
@@ -389,6 +442,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_diff.add_argument("--alpha", type=float, default=0.001)
     campaign_diff.add_argument("--mean-alpha", type=float, default=0.002)
+    campaign_diff.add_argument(
+        "--trajectories",
+        action="store_true",
+        help=(
+            "additionally compare the runs' dynamics trajectories window by "
+            "window (catches mid-run regressions whose end-of-run aggregates "
+            "cancel out)"
+        ),
+    )
+    campaign_diff.add_argument(
+        "--trajectory-window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="slots per comparison window (default: derived from run length)",
+    )
+    campaign_diff.add_argument(
+        "--trajectory-alpha",
+        type=float,
+        default=0.01,
+        help="per-metric FDR level for the windowed tests (default: 0.01)",
+    )
 
     telemetry_parser = subparsers.add_parser(
         "telemetry", help="aggregate telemetry JSONL files"
@@ -407,6 +482,76 @@ def build_parser() -> argparse.ArgumentParser:
         "path", metavar="PATH", help="JSONL file written by --telemetry"
     )
     telemetry_summarize.add_argument("--json", action="store_true")
+
+    dynamics_parser = subparsers.add_parser(
+        "dynamics", help="inspect stored simulation-dynamics trajectories"
+    )
+    dynamics_sub = dynamics_parser.add_subparsers(
+        dest="dynamics_command", required=True
+    )
+    dynamics_show = dynamics_sub.add_parser(
+        "show",
+        help=(
+            "list stored trajectories, or render one (spec prefix + --seed) "
+            "as per-metric sparklines"
+        ),
+    )
+    dynamics_show.add_argument(
+        "spec",
+        metavar="SPEC_PREFIX",
+        nargs="?",
+        default=None,
+        help="spec-hash prefix selecting one run's trajectory",
+    )
+    _add_store_option(dynamics_show)
+    dynamics_show.add_argument(
+        "--seed", type=int, default=None, help="replicate seed to select"
+    )
+    dynamics_show.add_argument("--json", action="store_true")
+    dynamics_export = dynamics_sub.add_parser(
+        "export", help="export one trajectory as JSON or CSV"
+    )
+    dynamics_export.add_argument(
+        "spec", metavar="SPEC_PREFIX", help="spec-hash prefix selecting the run"
+    )
+    _add_store_option(dynamics_export)
+    dynamics_export.add_argument("--seed", type=int, default=None)
+    dynamics_export.add_argument(
+        "--format",
+        dest="export_format",
+        default="json",
+        choices=("json", "csv"),
+        help="export format (default: json)",
+    )
+    dynamics_export.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write to PATH instead of stdout",
+    )
+    dynamics_compare = dynamics_sub.add_parser(
+        "compare",
+        help=(
+            "window-by-window trajectory regression diff of two stored "
+            "campaigns; non-zero exit on regression"
+        ),
+    )
+    dynamics_compare.add_argument("left", metavar="CAMPAIGN_A")
+    dynamics_compare.add_argument("right", metavar="CAMPAIGN_B")
+    _add_store_option(dynamics_compare)
+    dynamics_compare.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="slots per comparison window (default: derived from run length)",
+    )
+    dynamics_compare.add_argument(
+        "--alpha",
+        type=float,
+        default=0.01,
+        help="per-metric FDR level for the windowed tests (default: 0.01)",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect and prune the on-disk result cache"
@@ -480,15 +625,30 @@ def _parse_positive_ints(
     return values
 
 
-def _backend_builder(args: argparse.Namespace, parser: argparse.ArgumentParser):
-    """A zero-argument backend factory, validated before anything runs."""
+def _backend_builder(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    *,
+    dynamics_window: int = 0,
+):
+    """A zero-argument backend factory, validated before anything runs.
+
+    ``dynamics_window`` wraps the backend in a
+    :class:`~repro.exec.DynamicsBackend` — used by the experiments ``run``
+    path, where the sweep plan is built inside the experiment function and
+    the backend is the only seam the CLI controls.  Scenario and campaign
+    runs thread the window through their plans instead.
+    """
     if args.workers is not None and args.backend != "processes":
         parser.error("--workers only applies to --backend processes")
 
     def build_backend():
         try:
             return make_backend(
-                args.backend, workers=args.workers, cache_dir=args.cache_dir
+                args.backend,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                dynamics_window=dynamics_window or None,
             )
         except ValueError as exc:
             parser.error(str(exc))
@@ -715,7 +875,9 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
             plan = EXPERIMENT_PLANS[exp_id](scale=args.scale, seeds=seeds)
             _print_vectorization_table(exp_id, plan, args.scale)
         return 0
-    build_backend = _backend_builder(args, parser)
+    build_backend = _backend_builder(
+        args, parser, dynamics_window=_dynamics_window(args, parser)
+    )
     out_dir = _prepare_out_dir(args.out, parser)
     _prepare_bench_out(args.bench_out, parser)
     from repro.telemetry import activated
@@ -836,13 +998,18 @@ def _command_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser)
             )
     out_dir = _prepare_out_dir(args.out, parser)
     _prepare_bench_out(args.bench_out, parser)
+    dynamics_window = _dynamics_window(args, parser)
     from repro.telemetry import activated
 
     with activated(_telemetry_session(args)) as tele:
-        return _run_scenarios(args, scenarios, seeds, build_backend, out_dir, tele)
+        return _run_scenarios(
+            args, scenarios, seeds, build_backend, out_dir, tele, dynamics_window
+        )
 
 
-def _run_scenarios(args, scenarios, seeds, build_backend, out_dir, tele) -> int:
+def _run_scenarios(
+    args, scenarios, seeds, build_backend, out_dir, tele, dynamics_window=0
+) -> int:
     from repro.scenarios.runner import run_scenario, scenario_max_slots, scenario_seeds
 
     for scenario in scenarios:
@@ -858,7 +1025,11 @@ def _run_scenarios(args, scenarios, seeds, build_backend, out_dir, tele) -> int:
                 scenario=scenario.scenario_id,
             ):
                 report = run_scenario(
-                    scenario, scale=args.scale, seeds=seeds, backend=backend
+                    scenario,
+                    scale=args.scale,
+                    seeds=seeds,
+                    backend=backend,
+                    dynamics_window=dynamics_window,
                 )
             elapsed = time.perf_counter() - started
         finally:
@@ -1070,6 +1241,7 @@ def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser)
                             campaign_id=args.campaign_id,
                             checkpoint_every=checkpoint,
                             fail_after_units=_fail_after_units_env(parser),
+                            dynamics_window=_dynamics_window(args, parser),
                         )
                 _print_outcome(outcome)
                 return 0
@@ -1088,6 +1260,7 @@ def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser)
                             workers=args.workers,
                             checkpoint_every=checkpoint,
                             fail_after_units=_fail_after_units_env(parser),
+                            dynamics_window=_dynamics_window(args, parser),
                         )
                 _print_outcome(outcome)
                 return 0
@@ -1159,12 +1332,17 @@ def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser)
                 return 0 if verdict["passed"] else 1
             if args.right is None:
                 parser.error("diff needs CAMPAIGN_B (or --bench PATH)")
+            if args.trajectory_window is not None and args.trajectory_window < 1:
+                parser.error("--trajectory-window must be at least 1")
             diff = diff_campaigns(
                 store,
                 args.left,
                 right_id=args.right,
                 alpha=args.alpha,
                 mean_alpha=args.mean_alpha,
+                trajectories=args.trajectories,
+                trajectory_window=args.trajectory_window,
+                trajectory_alpha=args.trajectory_alpha,
             )
             print(diff.render())
             return 0 if diff.passed else 1
@@ -1200,6 +1378,145 @@ def _command_telemetry(
     return 0
 
 
+def _select_trajectory_row(
+    store, args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> dict:
+    """Resolve a spec-hash prefix (+ optional ``--seed``) to one row."""
+    rows = store.trajectory_rows(spec_prefix=args.spec)
+    if args.seed is not None:
+        rows = [row for row in rows if row["seed"] == args.seed]
+    if not rows:
+        parser.error(
+            f"no stored trajectory matches spec prefix {args.spec!r}"
+            + (f" with seed {args.seed}" if args.seed is not None else "")
+            + "; list them with 'python -m repro dynamics show'"
+        )
+    if len(rows) > 1:
+        candidates = ", ".join(
+            f"{row['spec_hash'][:12]}/seed={row['seed']}/{row['backend_layout']}"
+            for row in rows[:8]
+        )
+        parser.error(
+            f"spec prefix {args.spec!r} is ambiguous ({len(rows)} trajectories: "
+            f"{candidates}{', ...' if len(rows) > 8 else ''}); "
+            "narrow the prefix or add --seed"
+        )
+    return rows[0]
+
+
+def _load_trajectory(store, row: dict, parser: argparse.ArgumentParser):
+    trajectory = store.get_trajectory(
+        row["spec_hash"], row["seed"], row["backend_layout"]
+    )
+    if trajectory is None:
+        parser.error(
+            f"trajectory artifact for {row['spec_hash'][:12]}/seed={row['seed']} "
+            "is missing or corrupt — re-run with --dynamics"
+        )
+    return trajectory
+
+
+def _command_dynamics(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    with _open_store(args.store, parser) as store:
+        if args.dynamics_command == "show":
+            if args.spec is None:
+                rows = store.trajectory_rows()
+                if args.json:
+                    print(json.dumps({"trajectories": rows}, indent=2))
+                    return 0
+                if not rows:
+                    print(
+                        "(no stored trajectories; record them with --dynamics "
+                        "on campaign run or a --cache-dir sweep)"
+                    )
+                    return 0
+                print(
+                    f"{'spec':<14} {'seed':>6} {'layout':<24} {'window':>7} "
+                    f"{'slots':>8} protocol"
+                )
+                for row in rows:
+                    print(
+                        f"{row['spec_hash'][:12]:<14} {row['seed']:>6} "
+                        f"{row['backend_layout']:<24.24} {row['window']:>7} "
+                        f"{row['num_slots']:>8} {row['protocol'] or '-'}"
+                    )
+                return 0
+            from repro.dynamics import render_trajectory
+
+            row = _select_trajectory_row(store, args, parser)
+            trajectory = _load_trajectory(store, row, parser)
+            if args.json:
+                print(json.dumps(trajectory.to_dict(), indent=2))
+                return 0
+            label = (
+                f"{row['protocol'] or '?'} spec={row['spec_hash'][:12]} "
+                f"seed={row['seed']} [{row['backend_layout']}]"
+            )
+            print(render_trajectory(trajectory, label=label))
+            return 0
+
+        if args.dynamics_command == "export":
+            from repro.dynamics import trajectory_to_csv, trajectory_to_json
+
+            row = _select_trajectory_row(store, args, parser)
+            trajectory = _load_trajectory(store, row, parser)
+            rendered = (
+                trajectory_to_csv(trajectory)
+                if args.export_format == "csv"
+                else trajectory_to_json(trajectory)
+            )
+            if args.out is None:
+                print(rendered, end="" if rendered.endswith("\n") else "\n")
+                return 0
+            out_path = pathlib.Path(args.out)
+            try:
+                out_path.parent.mkdir(parents=True, exist_ok=True)
+                out_path.write_text(
+                    rendered if rendered.endswith("\n") else rendered + "\n",
+                    encoding="utf-8",
+                )
+            except OSError as exc:
+                parser.error(f"cannot write --out {args.out!r}: {exc}")
+            print(
+                f"wrote {args.export_format} trajectory "
+                f"{row['spec_hash'][:12]}/seed={row['seed']} to {out_path}"
+            )
+            return 0
+
+        # dynamics compare
+        from repro.campaigns import CampaignError, diff_campaign_trajectories
+
+        if args.window is not None and args.window < 1:
+            parser.error("--window must be at least 1")
+        try:
+            diffs = diff_campaign_trajectories(
+                store,
+                args.left,
+                right_id=args.right,
+                window=args.window,
+                alpha=args.alpha,
+            )
+        except CampaignError as exc:
+            parser.error(str(exc))
+        if not diffs:
+            parser.error(
+                f"campaigns {args.left!r} and {args.right!r} share no protocol "
+                "groups; nothing to compare"
+            )
+        failures = 0
+        for protocol in sorted(diffs):
+            diff = diffs[protocol]
+            print(f"-- [{protocol}]")
+            print("\n".join("  " + line for line in diff.render().splitlines()))
+            failures += 0 if diff.passed else 1
+        verdict = "PASS" if not failures else "REGRESSION"
+        print(
+            f"\ntrajectory compare {args.left} vs {args.right}: {verdict} "
+            f"({len(diffs) - failures}/{len(diffs)} protocol group(s) clean)"
+        )
+        return 0 if not failures else 1
+
+
 def _command_cache(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     # Open through the cache backend, not the raw store: an existing
     # directory of legacy loose-pickle entries (no store.db yet) is
@@ -1228,6 +1545,7 @@ def _command_cache(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
                 f"by layout: {stats['runs_by_layout'] or '{}'})"
             )
             print(f"campaigns: {stats['campaigns']}")
+            print(f"trajectories: {stats.get('trajectories', 0)}")
             print(
                 f"artifacts: {stats['artifacts']} files, "
                 f"{stats['artifact_bytes']} bytes "
@@ -1269,6 +1587,8 @@ def main(argv: Iterable[str] | None = None) -> int:
         return _command_campaign(args, parser)
     if args.command == "telemetry":
         return _command_telemetry(args, parser)
+    if args.command == "dynamics":
+        return _command_dynamics(args, parser)
     if args.command == "cache":
         return _command_cache(args, parser)
     return _command_run(args, parser)

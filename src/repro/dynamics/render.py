@@ -1,0 +1,132 @@
+"""ASCII rendering and JSON/CSV export of dynamics trajectories."""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import numpy as np
+
+from repro.dynamics.trajectory import (
+    ARRAY_FIELDS,
+    COUNT_FIELDS,
+    DynamicsTrajectory,
+)
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+#: Series shown in the sparkline table, in display order.  ``slots`` and
+#: the cumulative counters stay export-only (their sparklines are flat
+#: ramps that convey nothing).
+_DISPLAY_FIELDS = (
+    "throughput",
+    "backlog",
+    "arrivals",
+    "successes",
+    "collisions",
+    "jammed",
+    "idle",
+    "contention",
+    "mean_window",
+    "mean_send_probability",
+    "jammer_budget_remaining",
+    "cumulative_sends",
+    "cumulative_listens",
+)
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """One-line block-character sketch of a series (NaN renders as ``·``)."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        return ""
+    if data.size > width:
+        # Downsample by taking window means so the line stays one screen.
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array(
+            [
+                np.nanmean(data[a:b]) if b > a and not np.all(np.isnan(data[a:b]))
+                else math.nan
+                for a, b in zip(edges[:-1], edges[1:])
+            ]
+        )
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        return "·" * data.size
+    low = float(finite.min())
+    high = float(finite.max())
+    span = high - low
+    chars = []
+    for value in data.tolist():
+        if not math.isfinite(value):
+            chars.append("·")
+            continue
+        if span == 0.0:
+            level = 0
+        else:
+            level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def _stat(value: float) -> str:
+    if not math.isfinite(value):
+        return "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_trajectory(
+    trajectory: DynamicsTrajectory, *, label: str | None = None
+) -> str:
+    """Per-metric sparkline table with first/min/mean/max/last columns."""
+    lines = []
+    header = (
+        f"window={trajectory.window} slots={trajectory.num_slots} "
+        f"windows={trajectory.num_windows}"
+    )
+    if label:
+        header = f"{label}: {header}"
+    lines.append(header)
+    name_width = max(len(name) for name in _DISPLAY_FIELDS)
+    for name in _DISPLAY_FIELDS:
+        values = np.asarray(getattr(trajectory, name), dtype=np.float64)
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            stats = "(n/a)"
+        else:
+            stats = (
+                f"min={_stat(float(finite.min()))} "
+                f"mean={_stat(float(finite.mean()))} "
+                f"max={_stat(float(finite.max()))} "
+                f"last={_stat(float(values[-1]))}"
+            )
+        lines.append(f"  {name:<{name_width}}  {sparkline(values)}  {stats}")
+    return "\n".join(lines)
+
+
+def trajectory_to_json(trajectory: DynamicsTrajectory) -> str:
+    return json.dumps(trajectory.to_dict(), indent=2)
+
+
+def trajectory_to_csv(trajectory: DynamicsTrajectory) -> str:
+    """One row per window; NaN gauges export as empty cells."""
+    buffer = io.StringIO()
+    columns = ("window_index", "first_slot", "last_slot") + ARRAY_FIELDS
+    buffer.write(",".join(columns) + "\n")
+    bounds = trajectory.window_bounds()
+    for j in range(trajectory.num_windows):
+        first_slot, last_slot = bounds[j]
+        cells = [str(j), str(first_slot), str(last_slot)]
+        for name in ARRAY_FIELDS:
+            value = getattr(trajectory, name)[j]
+            if name in COUNT_FIELDS:
+                cells.append(str(int(value)))
+            elif math.isnan(float(value)):
+                cells.append("")
+            else:
+                cells.append(repr(float(value)))
+        buffer.write(",".join(cells) + "\n")
+    return buffer.getvalue()

@@ -26,6 +26,7 @@ the serial backend.
 
 from repro.exec.backends import (
     ConfigJob,
+    DynamicsBackend,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
@@ -42,11 +43,14 @@ def make_backend(
     *,
     workers: int | None = None,
     cache_dir: str | None = None,
+    dynamics_window: int | None = None,
 ) -> ExecutionBackend:
     """Build a backend from CLI-style options.
 
     ``name`` selects the execution strategy; ``cache_dir``, when given,
-    wraps the chosen backend in a :class:`ResultCacheBackend`.
+    wraps the chosen backend in a :class:`ResultCacheBackend`;
+    ``dynamics_window`` wraps the result in a :class:`DynamicsBackend`
+    so every job records a windowed dynamics trajectory.
     """
     if name == "serial":
         backend: ExecutionBackend = SerialBackend()
@@ -58,12 +62,15 @@ def make_backend(
         raise ValueError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")
     if cache_dir is not None:
         backend = ResultCacheBackend(cache_dir, inner=backend)
+    if dynamics_window is not None:
+        backend = DynamicsBackend(backend, dynamics_window)
     return backend
 
 
 __all__ = [
     "BACKEND_NAMES",
     "ConfigJob",
+    "DynamicsBackend",
     "ExecutionBackend",
     "ProcessPoolBackend",
     "ResultCacheBackend",

@@ -57,6 +57,7 @@ def _cached_group_key(job: Any) -> Any | None:
         job.stop_when_drained,
         job.collect_trace,
         job.collect_potential,
+        getattr(job, "dynamics_window", 0),
     )
 
 
@@ -97,6 +98,7 @@ def _cached_mega_key(job: Any) -> Any | None:
         components,
         job.max_slots,
         job.stop_when_drained,
+        getattr(job, "dynamics_window", 0),
     )
 
 
@@ -184,10 +186,19 @@ class VectorBackend(ExecutionBackend):
                         # telemetry layer exists to surface.
                         support = getattr(job, "vector_support", None)
                         reason = support() if callable(support) else "opaque job"
+                        cache_key = getattr(job, "cache_key", None)
                         tele.event(
                             "vector_fallback",
                             reason=str(reason or "ungroupable"),
                             job=index,
+                            # Spec-hash prefix so `telemetry summarize` can
+                            # name *which* configurations fell back, not
+                            # just how many.
+                            spec=(
+                                cache_key()[:10]
+                                if callable(cache_key)
+                                else None
+                            ),
                         )
                 else:
                     groups.setdefault(key, []).append(index)

@@ -111,6 +111,10 @@ class RunSpec:
     stop_when_drained: bool = True
     collect_trace: bool = False
     collect_potential: bool = False
+    #: Windowed dynamics sampling interval (0 = off).  Deliberately excluded
+    #: from :meth:`cache_key` — dynamics are observability, not results, so
+    #: a spec hashes the same with or without them.
+    dynamics_window: int = 0
 
     def build_config(self) -> SimulationConfig:
         adversary = (
@@ -126,6 +130,7 @@ class RunSpec:
             stop_when_drained=self.stop_when_drained,
             collect_trace=self.collect_trace,
             collect_potential=self.collect_potential,
+            dynamics_window=self.dynamics_window,
         )
 
     def vector_support(self) -> str | None:
@@ -249,6 +254,7 @@ class SweepPlan:
         stop_when_drained: bool = True,
         collect_trace: bool = False,
         collect_potential: bool = False,
+        dynamics_window: int = 0,
     ) -> int:
         """Add one configuration replicated over ``seeds``; returns group id.
 
@@ -269,6 +275,7 @@ class SweepPlan:
                     stop_when_drained=stop_when_drained,
                     collect_trace=collect_trace,
                     collect_potential=collect_potential,
+                    dynamics_window=dynamics_window,
                 )
             )
         group = SweepGroup(

@@ -39,6 +39,11 @@ class SimulationConfig:
         BACKOFF); used by experiment E9.
     potential_coefficients:
         Coefficients (α1, α2, α3) for the potential tracker.
+    dynamics_window:
+        When positive, sample a windowed dynamics trajectory every this
+        many slots (see :mod:`repro.dynamics`).  Dynamics are result-inert
+        — the trajectory is excluded from :meth:`describe` so spec hashes
+        and stored artifacts are identical with it on or off.
     """
 
     protocol: BackoffProtocol
@@ -51,10 +56,13 @@ class SimulationConfig:
     potential_coefficients: PotentialCoefficients = field(
         default_factory=PotentialCoefficients
     )
+    dynamics_window: int = 0
 
     def __post_init__(self) -> None:
         if self.max_slots <= 0:
             raise ValueError("max_slots must be positive")
+        if self.dynamics_window < 0:
+            raise ValueError("dynamics_window must be >= 0")
 
     def describe(self) -> dict[str, Any]:
         return {

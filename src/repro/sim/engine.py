@@ -107,6 +107,14 @@ class Simulator:
             if config.collect_potential
             else None
         )
+        if getattr(config, "dynamics_window", 0):
+            from repro.dynamics import DynamicsAccumulator, jammer_budget
+
+            self._dynamics: DynamicsAccumulator | None = DynamicsAccumulator(
+                config.dynamics_window, budget=jammer_budget(config.adversary)
+            )
+        else:
+            self._dynamics = None
         self._slot = 0
         self._last_outcome: SlotOutcome | None = None
         # Contention is only computed when someone consumes it: an adversary
@@ -294,6 +302,9 @@ class Simulator:
                 )
             )
 
+        if self._dynamics is not None and (slot + 1) % self._dynamics.window == 0:
+            self._sample_dynamics()
+
         self._last_outcome = resolution.outcome
         self._slot += 1
         return resolution.outcome
@@ -310,6 +321,12 @@ class Simulator:
             )
             for packet in self._all_packets
         ]
+        dynamics = None
+        if self._dynamics is not None:
+            if self._dynamics.pending(self.collector.num_slots):
+                # The run stopped mid-window: one final partial sample.
+                self._sample_dynamics()
+            dynamics = self._dynamics.build(self.collector.num_slots)
         return SimulationResult(
             config_description=self.config.describe(),
             protocol_name=self.config.protocol.name,
@@ -320,9 +337,46 @@ class Simulator:
             packets=records,
             trace=self.trace,
             potential=self.potential,
+            dynamics=dynamics,
         )
 
     # -- Internals -------------------------------------------------------------
+
+    def _sample_dynamics(self) -> None:
+        """Snapshot counters and live gauges at a window boundary.
+
+        Runs post-slot (after feedback updates and the winner's departure),
+        so the gauges describe the same state the vector engine samples at
+        its global boundaries.  One O(backlog) pass; the fast path and the
+        RNG are untouched.
+        """
+        collector = self.collector
+        window_sum = 0.0
+        window_count = 0
+        probability_sum = 0.0
+        for packet in self._active.values():
+            state = packet.state
+            window = getattr(state, "window", None)
+            if window is not None:
+                window_sum += float(window)
+                window_count += 1
+            probability = state.sending_probability()
+            if probability is not None:
+                probability_sum += probability
+        assert self._dynamics is not None
+        self._dynamics.sample(
+            num_slots=collector.num_slots,
+            arrivals=collector.num_arrivals,
+            successes=collector.num_successes,
+            collisions=collector.num_collisions,
+            jammed=collector.num_jammed,
+            sends=collector.total_sends,
+            listens=collector.total_listens,
+            backlog=len(self._active),
+            window_sum=window_sum,
+            window_count=window_count,
+            probability_sum=probability_sum,
+        )
 
     def _inject(self, slot: int) -> int:
         packet_id = self._next_packet_id

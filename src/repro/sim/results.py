@@ -62,6 +62,9 @@ class SimulationResult:
     packets: list[PacketRecord] = field(default_factory=list)
     trace: ExecutionTrace | None = None
     potential: PotentialTracker | None = None
+    # Optional windowed dynamics trajectory (repro.dynamics).  Result-inert:
+    # stripped from run artifacts by the store, persisted separately.
+    dynamics: Any | None = None
 
     # -- Basic counts ---------------------------------------------------------
 

@@ -88,6 +88,36 @@ _OUTCOMES = (
 )
 
 
+def _sample_dynamics_gauges(
+    j: int,
+    kernel: Any,
+    active: np.ndarray,
+    listens: np.ndarray | None,
+    dyn_prob_sum: np.ndarray,
+    dyn_window_sum: np.ndarray,
+    dyn_listens: np.ndarray,
+    dyn_has_windows: bool,
+) -> None:
+    """Sample the live dynamics gauges into global-boundary row ``j``.
+
+    Post-step state only; the cumulative sums reproduce the scalar
+    engine's sequential ascending-id float additions bitwise (inactive
+    cells add +0.0, a float no-op).  Rows that drained earlier read back
+    their frozen end-of-run values — empty active mask, listens no longer
+    growing — which is exactly what the scalar accumulator recorded for
+    them.
+    """
+    probabilities = kernel.sending_probabilities()
+    dyn_prob_sum[j] = np.where(active, probabilities, 0.0).cumsum(axis=1)[:, -1]
+    if dyn_has_windows:
+        windows = kernel.window_matrix()
+        dyn_window_sum[j] = (
+            np.where(active, windows, 0.0).cumsum(axis=1)[:, -1]
+        )
+    if listens is not None:
+        dyn_listens[j] = listens.sum(axis=1)
+
+
 class _WindowTermCache:
     """Memoised per-window potential terms, computed with ``math.log``.
 
@@ -308,11 +338,14 @@ class VectorSimulator:
         collect_potential: bool = False,
         potential_coefficients: PotentialCoefficients | None = None,
         config_descriptions: Sequence[dict[str, Any]] | None = None,
+        dynamics_window: int = 0,
     ) -> None:
         if not seeds:
             raise ValueError("at least one replication seed is required")
         if max_slots <= 0:
             raise ValueError("max_slots must be positive")
+        if dynamics_window < 0:
+            raise ValueError("dynamics_window must be >= 0")
         reason = protocol_support(protocol)
         if reason is None:
             if arrival_process is jammer and isinstance(
@@ -356,6 +389,7 @@ class VectorSimulator:
             if potential_coefficients is not None
             else PotentialCoefficients()
         )
+        self._dynamics_window = dynamics_window
 
     # -- Construction ---------------------------------------------------------
 
@@ -373,7 +407,8 @@ class VectorSimulator:
         return simulator
 
     def _apply_options(
-        self, options: tuple[int, bool, bool, bool, PotentialCoefficients]
+        self,
+        options: tuple[int, bool, bool, bool, PotentialCoefficients, int],
     ) -> None:
         (
             self._max_slots,
@@ -381,6 +416,7 @@ class VectorSimulator:
             self._collect_trace,
             self._collect_potential,
             self._potential_coefficients,
+            self._dynamics_window,
         ) = options
 
     @classmethod
@@ -441,7 +477,9 @@ class VectorSimulator:
     @classmethod
     def _group_from_specs(
         cls, specs: Sequence[Any]
-    ) -> tuple[_GroupConfig, tuple[int, bool, bool, bool, PotentialCoefficients]]:
+    ) -> tuple[
+        _GroupConfig, tuple[int, bool, bool, bool, PotentialCoefficients, int]
+    ]:
         if not specs:
             raise ValueError("at least one spec is required")
         configs = [spec.build_config() for spec in specs]
@@ -468,6 +506,7 @@ class VectorSimulator:
                 or config.collect_trace != first.collect_trace
                 or config.collect_potential != first.collect_potential
                 or config.potential_coefficients != first.potential_coefficients
+                or config.dynamics_window != first.dynamics_window
             ):
                 raise ValueError(
                     "a vector batch must replicate one configuration: all "
@@ -492,6 +531,7 @@ class VectorSimulator:
             first.collect_trace,
             first.collect_potential,
             first.potential_coefficients,
+            first.dynamics_window,
         )
         return group, options
 
@@ -640,6 +680,24 @@ class VectorSimulator:
             coeffs = self._potential_coefficients
             zero_row = np.zeros(replications)
             has_windows = kernel.window_matrix() is not None
+
+        # Windowed dynamics gauge buffers: one row per global window
+        # boundary, sampled post-step at boundary slots only — the per-slot
+        # kernel path is untouched.  Counts are recovered from the recorder
+        # at finalisation; only live gauges (probability sum, window sum,
+        # cumulative listens) need boundary snapshots.  A drained row's
+        # kernel state is frozen (empty active mask, no injections), so a
+        # later global boundary reads exactly the values the row had when
+        # it finished — no per-row boundary bookkeeping is needed.
+        dynamics_window = self._dynamics_window
+        dyn_prob_sum = dyn_window_sum = dyn_listens = None
+        dyn_has_windows = False
+        if dynamics_window:
+            dyn_count = -(-max_slots // dynamics_window)
+            dyn_prob_sum = np.zeros((dyn_count, replications))
+            dyn_window_sum = np.zeros((dyn_count, replications))
+            dyn_listens = np.zeros((dyn_count, replications), dtype=np.int64)
+            dyn_has_windows = kernel.window_matrix() is not None
 
         # Per-replication arrival-exhaustion mask; monotone per segment, so
         # each segment's (pure) exhausted() is queried only until it flips.
@@ -884,6 +942,15 @@ class VectorSimulator:
                     )
                     recorder.record_potential(slot, h_row, l_row, inverse_sum, phi)
 
+            if dynamics_window and (slot + 1) % dynamics_window == 0:
+                # Post-step, like the scalar accumulator: feedback applied,
+                # winners departed.  The cumulative sums reproduce the scalar
+                # engine's sequential ascending-id float additions bitwise.
+                _sample_dynamics_gauges(
+                    slot // dynamics_window, kernel, active, listens,
+                    dyn_prob_sum, dyn_window_sum, dyn_listens, dyn_has_windows,
+                )
+
             slot += 1
             if stop_when_drained:
                 for seg in segments:
@@ -910,6 +977,14 @@ class VectorSimulator:
                                 if seg.live and not running[seg.rows].any():
                                     seg.live = False
 
+        if dynamics_window and slot % dynamics_window:
+            # The loop ended mid-window (max_slots not a multiple of the
+            # window, or every row drained): one final partial-window sample.
+            _sample_dynamics_gauges(
+                slot // dynamics_window, kernel, active, listens,
+                dyn_prob_sum, dyn_window_sum, dyn_listens, dyn_has_windows,
+            )
+
         # Post-loop telemetry stats: `slot` is exactly how many lockstep
         # kernel rounds ran, and every round of a reactive/adaptive batch
         # is one feedback-loop iteration (senders/contention handed back
@@ -921,11 +996,17 @@ class VectorSimulator:
             "mega_batch_segments": len(segments),
             "trace_materialisations": replications if collect_trace else 0,
             "potential_materialisations": replications if collect_potential else 0,
+            "dynamics_materialisations": replications if dynamics_window else 0,
         }
+        dynamics_buffers = (
+            (dyn_prob_sum, dyn_window_sum, dyn_listens, dyn_has_windows)
+            if dynamics_window
+            else None
+        )
         finalize_args = (
             recorder, num_slots, backlog, segments, injected,
             arrival_slot, departure_slot, sends, listens,
-            trace_senders, trace_listeners, has_windows,
+            trace_senders, trace_listeners, has_windows, dynamics_buffers,
         )
         return finalize_args, stats
 
@@ -945,6 +1026,7 @@ class VectorSimulator:
         trace_senders: list[tuple[np.ndarray, np.ndarray]],
         trace_listeners: list[tuple[np.ndarray, np.ndarray]],
         has_windows: bool,
+        dynamics_buffers: tuple | None,
     ) -> list[SimulationResult]:
         descriptions = [
             description for group in self._groups for description in group.descriptions
@@ -953,8 +1035,15 @@ class VectorSimulator:
             group.protocol.name for group in self._groups for _ in group.seeds
         ]
         seeds = self._seeds
+        if dynamics_buffers is not None:
+            from repro.dynamics.trajectory import jammer_budget
         results = []
-        for seg in segments:
+        for group, seg in zip(self._groups, segments):
+            group_budget = (
+                jammer_budget(group.jammer)
+                if dynamics_buffers is not None
+                else None
+            )
             for index in range(seg.rows.start, seg.rows.stop):
                 slots = int(num_slots[index])
                 outcome = recorder.outcome[:slots, index]
@@ -1017,6 +1106,11 @@ class VectorSimulator:
                     potential = self._materialize_potential(
                         recorder, index, slots, active_after, has_windows
                     )
+                dynamics = None
+                if dynamics_buffers is not None:
+                    dynamics = self._materialize_dynamics(
+                        recorder, index, slots, dynamics_buffers, group_budget
+                    )
 
                 per_row_exhausted = seg.arrivals.exhausted_rows(slots)
                 if per_row_exhausted is None:
@@ -1036,9 +1130,67 @@ class VectorSimulator:
                         packets=packets,
                         trace=trace,
                         potential=potential,
+                        dynamics=dynamics,
                     )
                 )
         return results
+
+    def _materialize_dynamics(
+        self,
+        recorder: _SlotRecorder,
+        index: int,
+        slots: int,
+        dynamics_buffers: tuple,
+        budget: float | None,
+    ):
+        """Expand one row's recorder columns + gauge buffers into a trajectory.
+
+        Counts come from cumulative sums of the per-slot recorder columns at
+        each window end; the gauges come from the global boundary buffers,
+        whose row values are frozen once a replication drains — so every
+        snapshot matches what the scalar accumulator would have sampled at
+        that row's own boundaries.  The snapshots then flow through the same
+        :func:`~repro.dynamics.trajectory.build_trajectory` the scalar
+        engine uses, making equal snapshots bit-identical trajectories.
+        """
+        from repro.dynamics.trajectory import WindowSnapshot, build_trajectory
+
+        window = self._dynamics_window
+        dyn_prob_sum, dyn_window_sum, dyn_listens, dyn_has_windows = (
+            dynamics_buffers
+        )
+        snapshots = []
+        if slots:
+            outcome = recorder.outcome[:slots, index]
+            cumulative_arrivals = np.cumsum(recorder.arrivals[:slots, index])
+            cumulative_successes = np.cumsum(outcome == 1)
+            cumulative_collisions = np.cumsum(outcome == 2)
+            cumulative_jammed = np.cumsum(recorder.jammed[:slots, index])
+            cumulative_sends = np.cumsum(recorder.num_senders[:slots, index])
+            active_after = recorder.active_after[:slots, index]
+            for j in range(-(-slots // window)):
+                end = min((j + 1) * window, slots) - 1
+                backlog = int(active_after[end])
+                snapshots.append(
+                    WindowSnapshot(
+                        num_slots=end + 1,
+                        arrivals=int(cumulative_arrivals[end]),
+                        successes=int(cumulative_successes[end]),
+                        collisions=int(cumulative_collisions[end]),
+                        jammed=int(cumulative_jammed[end]),
+                        sends=int(cumulative_sends[end]),
+                        listens=int(dyn_listens[j, index]),
+                        backlog=backlog,
+                        window_sum=(
+                            float(dyn_window_sum[j, index])
+                            if dyn_has_windows
+                            else 0.0
+                        ),
+                        window_count=backlog if dyn_has_windows else 0,
+                        probability_sum=float(dyn_prob_sum[j, index]),
+                    )
+                )
+        return build_trajectory(window, slots, snapshots, budget=budget)
 
     def _materialize_trace(
         self,

@@ -126,6 +126,17 @@ CREATE TABLE IF NOT EXISTS campaign_units (
     elapsed_seconds REAL NOT NULL,
     PRIMARY KEY (campaign_id, unit_index)
 );
+CREATE TABLE IF NOT EXISTS trajectories (
+    spec_hash TEXT NOT NULL,
+    seed INTEGER NOT NULL,
+    backend_layout TEXT NOT NULL,
+    window INTEGER NOT NULL,
+    num_slots INTEGER NOT NULL,
+    protocol TEXT,
+    artifact_hash TEXT NOT NULL,
+    created_at TEXT NOT NULL,
+    PRIMARY KEY (spec_hash, seed, backend_layout)
+);
 """
 
 
@@ -234,6 +245,21 @@ class ResultsStore:
         return self.artifacts_dir / artifact_hash[:2] / f"{artifact_hash}.pkl"
 
     def _write_artifact(self, result: SimulationResult) -> str:
+        # Dynamics trajectories are observability, not results: they are
+        # persisted as *separate* artifacts (see put_run), and the run
+        # artifact is pickled with the field stripped so its bytes — and
+        # therefore the store fingerprint — are identical whether or not
+        # the run was executed with dynamics sampling on.
+        dynamics = getattr(result, "dynamics", None)
+        if dynamics is not None:
+            result.dynamics = None
+        try:
+            return self._write_payload(result)
+        finally:
+            if dynamics is not None:
+                result.dynamics = dynamics
+
+    def _write_payload(self, payload_object: Any) -> str:
         # Canonicalise through one pickle round trip before hashing:
         # pickle's memo encodes *object identity* (interned/shared strings
         # become backrefs), so a freshly built result and the same result
@@ -242,7 +268,7 @@ class ResultsStore:
         # those histories, which is what makes artifact hashes a function
         # of result content rather than of which backend produced it.
         payload = pickle.dumps(
-            pickle.loads(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)),
+            pickle.loads(pickle.dumps(payload_object, protocol=pickle.HIGHEST_PROTOCOL)),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         artifact_hash = hashlib.sha256(payload).hexdigest()
@@ -338,6 +364,15 @@ class ResultsStore:
                         artifact_hash,
                     ),
                 )
+        dynamics = getattr(result, "dynamics", None)
+        if dynamics is not None:
+            self.put_trajectory(
+                spec_hash,
+                seed,
+                backend_layout,
+                dynamics,
+                protocol=summary.protocol,
+            )
         return artifact_hash
 
     def get_run(
@@ -393,6 +428,66 @@ class ResultsStore:
             elapsed_seconds=row["elapsed_seconds"],
             metrics={column: row[column] for column in METRIC_COLUMNS},
         )
+
+    # -- Trajectories ------------------------------------------------------
+
+    def put_trajectory(
+        self,
+        spec_hash: str,
+        seed: int,
+        backend_layout: str,
+        trajectory: Any,
+        *,
+        protocol: str | None = None,
+    ) -> str:
+        """Persist one dynamics trajectory as a content-addressed artifact.
+
+        Trajectories live in their own registry table and their own
+        artifacts — :meth:`fingerprint` covers only ``runs`` and
+        ``campaign_runs``, so storing (or re-storing) a trajectory can
+        never move a store fingerprint.
+        """
+        artifact_hash = self._write_payload(trajectory)
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO trajectories (spec_hash, seed, "
+                "backend_layout, window, num_slots, protocol, artifact_hash, "
+                "created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    spec_hash,
+                    seed,
+                    backend_layout,
+                    int(trajectory.window),
+                    int(trajectory.num_slots),
+                    protocol,
+                    artifact_hash,
+                    _utcnow(),
+                ),
+            )
+        return artifact_hash
+
+    def get_trajectory(
+        self, spec_hash: str, seed: int, backend_layout: str
+    ) -> Any | None:
+        """The stored trajectory of one run, or ``None`` if absent/corrupt."""
+        row = self._connection.execute(
+            "SELECT artifact_hash FROM trajectories WHERE spec_hash = ? "
+            "AND seed = ? AND backend_layout = ?",
+            (spec_hash, seed, backend_layout),
+        ).fetchone()
+        if row is None:
+            return None
+        return self.load_artifact(row["artifact_hash"])
+
+    def trajectory_rows(self, *, spec_prefix: str | None = None) -> list[dict[str, Any]]:
+        """Trajectory registry rows, optionally filtered by spec-hash prefix."""
+        query = "SELECT * FROM trajectories"
+        params: tuple[Any, ...] = ()
+        if spec_prefix:
+            query += " WHERE spec_hash LIKE ?"
+            params = (spec_prefix + "%",)
+        query += " ORDER BY spec_hash, seed, backend_layout"
+        return [dict(row) for row in self._connection.execute(query, params)]
 
     # -- Campaigns ---------------------------------------------------------
 
@@ -585,6 +680,9 @@ class ResultsStore:
         campaign_count = self._connection.execute(
             "SELECT COUNT(*) FROM campaigns"
         ).fetchone()[0]
+        trajectory_count = self._connection.execute(
+            "SELECT COUNT(*) FROM trajectories"
+        ).fetchone()[0]
         artifact_files = list(self.artifacts_dir.rglob("*.pkl"))
         artifact_bytes = sum(path.stat().st_size for path in artifact_files)
         return {
@@ -593,6 +691,7 @@ class ResultsStore:
             "runs_by_source": by_source,
             "runs_by_layout": by_layout,
             "campaigns": campaign_count,
+            "trajectories": trajectory_count,
             "artifacts": len(artifact_files),
             "artifact_bytes": artifact_bytes,
             "db_bytes": self.db_path.stat().st_size if self.db_path.exists() else 0,
@@ -651,14 +750,22 @@ class ResultsStore:
                 total -= size
         removed_rows = len(doomed)
         if not dry_run:
+            doomed_keys = [
+                (row["spec_hash"], row["seed"], row["backend_layout"])
+                for row in doomed
+            ]
             with self._connection:
                 self._connection.executemany(
                     "DELETE FROM runs WHERE spec_hash = ? AND seed = ? "
                     "AND backend_layout = ?",
-                    [
-                        (row["spec_hash"], row["seed"], row["backend_layout"])
-                        for row in doomed
-                    ],
+                    doomed_keys,
+                )
+                # A trajectory without its run row is dead weight; dropping
+                # it here lets the orphan sweep reclaim its artifact too.
+                self._connection.executemany(
+                    "DELETE FROM trajectories WHERE spec_hash = ? AND seed = ? "
+                    "AND backend_layout = ?",
+                    doomed_keys,
                 )
             removed_files, removed_bytes = self._sweep_orphan_artifacts()
         else:
@@ -674,6 +781,11 @@ class ResultsStore:
         return {
             row[0]
             for row in self._connection.execute("SELECT artifact_hash FROM runs")
+        } | {
+            row[0]
+            for row in self._connection.execute(
+                "SELECT artifact_hash FROM trajectories"
+            )
         }
 
     def _kept_hashes(self, doomed: Sequence[sqlite3.Row]) -> set[str]:
@@ -686,10 +798,13 @@ class ResultsStore:
         doomed_keys = {
             (row["spec_hash"], row["seed"], row["backend_layout"]) for row in doomed
         }
+        # Trajectory rows share the run key space and die with their run,
+        # so surviving trajectory artifacts join the kept set.
         return {
             row["artifact_hash"]
+            for table in ("runs", "trajectories")
             for row in self._connection.execute(
-                "SELECT spec_hash, seed, backend_layout, artifact_hash FROM runs"
+                f"SELECT spec_hash, seed, backend_layout, artifact_hash FROM {table}"
             )
             if (row["spec_hash"], row["seed"], row["backend_layout"])
             not in doomed_keys

@@ -99,17 +99,32 @@ class ProgressSink:
     ignores everything else.  Rate and ETA are computed per label from
     the monotonic clock between the first and latest event, so a
     campaign's unit progress and a sweep's spec progress render
-    independently.  Output is throttled to ~10 lines/second and drawn
-    with carriage returns; a newline is written when a label completes
-    or the sink closes, so scrollback keeps one final line per label.
+    independently.  When the event carries an ``executed`` attribute
+    (campaigns emit it), the rate is derived from *executed* work this
+    session rather than raw ``done`` — a resumed campaign skips stored
+    runs near-instantly, and a rate that counted skips would project an
+    absurdly optimistic ETA for the real work remaining.
+
+    On a TTY, output is throttled to ~10 lines/second and drawn with
+    carriage returns; a newline is written when a label completes or the
+    sink closes, so scrollback keeps one final line per label.  When the
+    stream is not a TTY (redirected to a file, CI logs), carriage-return
+    repainting would interleave into garbage, so the sink writes plain
+    newline-terminated lines at a slower cadence instead.
     """
 
     #: Minimum seconds between repaints (final updates always paint).
     min_interval = 0.1
+    #: Minimum seconds between plain lines when not attached to a TTY.
+    min_interval_notty = 2.0
 
     def __init__(self, stream: TextIO | None = None) -> None:
         self._stream = stream if stream is not None else sys.stderr
-        self._started: dict[str, tuple[float, int]] = {}
+        try:
+            self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        except (OSError, ValueError):
+            self._tty = False
+        self._started: dict[str, tuple[float, int, int]] = {}
         self._last_paint = 0.0
         self._dirty_line = False
 
@@ -119,18 +134,28 @@ class ProgressSink:
         label = str(record.get("label", ""))
         done = int(record.get("done", 0))
         total = int(record.get("total", 0))
+        attrs = record.get("attrs") or {}
+        executed = attrs.get("executed")
+        executed = int(executed) if executed is not None else None
         now = time.monotonic()
         if label not in self._started:
             # Anchor the rate at the first observation; `done` may be
             # non-zero on resume, and only work after the anchor counts.
-            self._started[label] = (now, done)
+            self._started[label] = (now, done, executed or 0)
         final = total > 0 and done >= total
-        if not final and now - self._last_paint < self.min_interval:
+        interval = self.min_interval if self._tty else self.min_interval_notty
+        if not final and now - self._last_paint < interval:
             return
         self._last_paint = now
-        t0, done0 = self._started[label]
+        t0, done0, executed0 = self._started[label]
         elapsed = now - t0
-        rate = (done - done0) / elapsed if elapsed > 0 and done > done0 else 0.0
+        # Work accomplished this session: executed runs when the emitter
+        # distinguishes them, completed units otherwise.
+        if executed is not None:
+            advanced = executed - executed0
+        else:
+            advanced = done - done0
+        rate = advanced / elapsed if elapsed > 0 and advanced > 0 else 0.0
         if rate > 0 and total > done:
             eta = f"eta {_format_seconds((total - done) / rate)}"
         elif final:
@@ -139,12 +164,15 @@ class ProgressSink:
             eta = "eta --"
         line = f"{label}: {done}/{total} ({rate:.1f}/s, {eta})"
         try:
-            self._stream.write("\r" + line.ljust(70))
-            if final:
-                self._stream.write("\n")
-                self._dirty_line = False
+            if self._tty:
+                self._stream.write("\r" + line.ljust(70))
+                if final:
+                    self._stream.write("\n")
+                    self._dirty_line = False
+                else:
+                    self._dirty_line = True
             else:
-                self._dirty_line = True
+                self._stream.write(line + "\n")
             self._stream.flush()
         except (OSError, ValueError):
             pass

@@ -61,6 +61,7 @@ def summarize_events(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
     units: dict[tuple[str, str], dict[str, Any]] = {}
     counters: dict[str, float] = {}
     event_counts: dict[str, int] = {}
+    event_specs: dict[str, set[str]] = {}
 
     def fold_span(table: dict[tuple[str, str], dict[str, Any]], record: dict[str, Any]) -> None:
         attrs = record.get("attrs") or {}
@@ -96,6 +97,11 @@ def summarize_events(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
             reason = attrs.get("reason")
             label = f"{name}[{reason}]" if reason else name
             event_counts[label] = event_counts.get(label, 0) + 1
+            # Spec-hash prefixes (vector_fallback carries them) name *which*
+            # configurations an event row covers, not just how many times.
+            spec = attrs.get("spec")
+            if spec:
+                event_specs.setdefault(label, set()).add(str(spec))
 
     for table in (phases, roots, units):
         for row in table.values():
@@ -111,6 +117,9 @@ def summarize_events(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
         "units": sorted(units.values(), key=lambda r: -r["total"]),
         "counters": dict(sorted(counters.items())),
         "events": dict(sorted(event_counts.items())),
+        "event_specs": {
+            label: sorted(specs) for label, specs in sorted(event_specs.items())
+        },
         "phase_seconds": phase_total,
         "root_seconds": root_total,
         "coverage": coverage,
@@ -155,8 +164,14 @@ def render_summary(summary: dict[str, Any]) -> str:
         lines.append("")
     if summary["events"]:
         lines.append("events")
+        event_specs = summary.get("event_specs", {})
         for name, count in summary["events"].items():
             lines.append(f"  {name:<42} {count:>14}")
+            specs = event_specs.get(name)
+            if specs:
+                shown = ", ".join(specs[:4])
+                extra = f" +{len(specs) - 4} more" if len(specs) > 4 else ""
+                lines.append(f"    specs: {shown}{extra}")
         lines.append("")
 
     if summary["coverage"] is not None:

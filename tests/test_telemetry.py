@@ -191,6 +191,89 @@ class TestProgressSink:
         assert stream.getvalue() == ""
 
 
+class TestJsonlSinkUnderProcessPool:
+    def test_pool_run_writes_one_json_object_per_line(self, tmp_path):
+        """Worker spans funnel through the parent session: the JSONL file
+        must stay one-object-per-line even with a multiprocessing pool."""
+        path = tmp_path / "pool.jsonl"
+        with activated(TelemetrySession([JsonlSink(path)])):
+            make_backend("processes", workers=2).run(_specs(3))
+        lines = path.read_text().splitlines()
+        assert lines, "pool run must emit telemetry"
+        records = [json.loads(line) for line in lines]  # every line parses alone
+        assert all(isinstance(record, dict) for record in records)
+        spans = [r for r in records if r["ev"] == "span" and r["name"] == "simulate"]
+        assert len(spans) == 3
+        assert all(span["attrs"]["backend"] == "processes" for span in spans)
+        events = read_events(path)
+        assert events == records
+
+    def test_read_events_on_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_events(path) == []
+
+
+class TestProgressSinkSessions:
+    class _Tty(io.StringIO):
+        def isatty(self):
+            return True
+
+    def test_resume_rate_counts_executed_work_not_skips(self):
+        """A resumed campaign reports the rate of work done *this session*:
+        50 checkpoint skips with zero executed runs is a 0.0/s rate, not a
+        5000/s fantasy that would project a nonsense ETA."""
+        stream = io.StringIO()
+        session = TelemetrySession([ProgressSink(stream)])
+        session.progress("units", 50, 100, executed=0)
+        time.sleep(0.01)
+        session.progress("units", 100, 100, executed=0)
+        session.close()
+        final = stream.getvalue().strip().splitlines()[-1]
+        assert final.startswith("units: 100/100")
+        assert "(0.0/s" in final
+
+    def test_executed_rate_drives_the_eta(self):
+        stream = io.StringIO()
+        sink = ProgressSink(stream)
+        sink.min_interval_notty = 0.0
+        session = TelemetrySession([sink])
+        session.progress("units", 50, 100, executed=0)
+        time.sleep(0.01)
+        session.progress("units", 52, 100, executed=2)
+        session.close()
+        mid = stream.getvalue().strip().splitlines()[-1]
+        assert mid.startswith("units: 52/100")
+        assert "eta" in mid and "eta --" not in mid
+
+    def test_non_tty_writes_plain_periodic_lines(self):
+        stream = io.StringIO()
+        session = TelemetrySession([ProgressSink(stream)])
+        session.progress("specs", 1, 4)
+        session.progress("specs", 2, 4)  # throttled: within the 2s cadence
+        session.progress("specs", 4, 4)  # final always paints
+        session.close()
+        output = stream.getvalue()
+        assert "\r" not in output
+        lines = output.splitlines()
+        assert lines == [line for line in lines if line]  # newline-terminated
+        assert lines[0].startswith("specs: 1/4")
+        assert lines[-1].startswith("specs: 4/4")
+        assert "specs: 2/4" not in output
+
+    def test_tty_repaints_with_carriage_returns(self):
+        stream = self._Tty()
+        sink = ProgressSink(stream)
+        sink.min_interval = 0.0
+        session = TelemetrySession([sink])
+        session.progress("specs", 1, 4)
+        session.progress("specs", 4, 4)
+        session.close()
+        output = stream.getvalue()
+        assert output.startswith("\r")
+        assert output.endswith("\n")
+
+
 class TestSummarize:
     def test_phase_unit_root_partition_and_coverage(self):
         events = [
@@ -216,6 +299,20 @@ class TestSummarize:
         rendered = render_summary(summary)
         assert "95.0%" in rendered
         assert "vector_fallback[trace]" in rendered
+
+    def test_event_rows_name_the_specs_that_fell_back(self):
+        events = [
+            {"ev": "event", "run": "r", "name": "vector_fallback",
+             "attrs": {"reason": "trace", "spec": f"spec{i:02d}"}}
+            for i in range(6)
+        ]
+        summary = summarize_events(events)
+        assert summary["events"] == {"vector_fallback[trace]": 6}
+        assert summary["event_specs"]["vector_fallback[trace]"] == [
+            f"spec{i:02d}" for i in range(6)
+        ]
+        rendered = render_summary(summary)
+        assert "specs: spec00, spec01, spec02, spec03 +2 more" in rendered
 
     def test_no_roots_means_no_coverage_claim(self):
         summary = summarize_events(
@@ -285,6 +382,7 @@ class TestBackendInstrumentation:
             make_backend("vector").run([trace_spec])
         (event,) = mem.events("vector_fallback")
         assert event["attrs"]["reason"]
+        assert event["attrs"]["spec"] == trace_spec.cache_key()[:10]
 
     def test_cache_backend_emits_lookup_event_and_commit_spans(self, tmp_path):
         mem = MemorySink()
