@@ -40,6 +40,7 @@ from repro.analysis.statistics import (
     bootstrap_mean_interval,
     describe,
     mean_confidence_interval,
+    quantile,
 )
 from repro.analysis.tables import format_table, render_rows
 
@@ -61,6 +62,7 @@ __all__ = [
     "fit_power_law",
     "format_table",
     "mean_confidence_interval",
+    "quantile",
     "render_rows",
     "select_scaling_model",
 ]

@@ -168,6 +168,28 @@ class ConfidenceInterval:
         return self.low <= value <= self.high
 
 
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of a sample by linear interpolation.
+
+    Matches numpy's default (``method="linear"``) so quantiles computed
+    here and in vectorized code agree.  Shared by the telemetry
+    summarizer's p50/p95 span columns and the observe histogram's
+    p50/p95/p99 export, so one definition of "p95" exists in the repo.
+    """
+    if not values:
+        raise ValueError("cannot take a quantile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    ordered = sorted(values)
+    position = q * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
 def describe(values: Sequence[float]) -> dict[str, float]:
     """Mean, standard deviation, min, max, and median of a sample."""
     if not values:

@@ -500,8 +500,13 @@ def campaign_status_rows(store: ResultsStore) -> list[dict[str, Any]]:
 
     ``units_done``/``slowest_unit_seconds`` come from the persisted
     per-unit spans (``campaign_units``); ``eta_seconds`` is ``None`` for
-    campaigns that are complete or have no timing data yet.
+    campaigns that are complete or have no timing data yet;
+    ``unit_imbalance`` is the max/mean unit wall-clock index
+    (:func:`repro.observe.workers.unit_imbalance` — 1.0 is a perfectly
+    level campaign, ``None`` below two timed units).
     """
+    from repro.observe.workers import unit_imbalance
+
     rows = []
     for campaign in store.list_campaigns():
         campaign_id = campaign["campaign_id"]
@@ -529,6 +534,9 @@ def campaign_status_rows(store: ResultsStore) -> list[dict[str, Any]]:
                     round(max(row["elapsed_seconds"] for row in unit_rows), 4)
                     if unit_rows
                     else None
+                ),
+                "unit_imbalance": unit_imbalance(
+                    [row["elapsed_seconds"] for row in unit_rows]
                 ),
                 "eta_seconds": round(eta, 4) if eta is not None else None,
                 "created_at": campaign["created_at"],

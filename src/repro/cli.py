@@ -71,10 +71,44 @@ Subcommands:
 
         python -m repro telemetry summarize PATH [--json]
 
-    aggregates a JSONL file into per-phase/per-backend wall-clock tables,
-    counter totals, event histograms, and a coverage figure (share of
-    root wall-clock explained by phase spans).  Telemetry is RNG- and
-    result-inert: fingerprints with it on and off are bit-identical.
+    aggregates a JSONL file into per-phase/per-backend wall-clock tables
+    (count, total, mean, p50, p95, max), counter totals, event
+    histograms, and a coverage figure (share of root wall-clock explained
+    by phase spans).  ``--run ID`` (repeatable, prefix-matched) and
+    ``--last`` restrict the summary to specific sessions of a shared
+    file; a worker-utilization table (per-pid busy fractions, queue-wait
+    distribution, imbalance index) is appended when the file carries
+    process-pool spans.  The run commands also accept
+    ``--sample-resources [SECONDS]`` (with ``--telemetry``) to stream
+    ``/proc`` RSS/CPU/fd samples into the same file.  Telemetry is RNG-
+    and result-inert: fingerprints with it on and off are bit-identical.
+
+``perf``
+    Store-backed performance history and drift detection
+    (:mod:`repro.observe.perf`)::
+
+        python -m repro perf record onoff-jamming --store runs/ --backend vector
+        python -m repro perf history --store runs/
+        python -m repro perf regress --store runs/
+
+    ``record`` executes a scenario's plan once, timed, and appends a
+    wall-clock sample to the store's ``perf_samples`` table (keyed by
+    spec hash, backend layout, and host fingerprint; excluded from the
+    store fingerprint).  ``regress`` Welch-tests the latest window of
+    each group against its rolling baseline and exits ``1`` on sustained
+    drift, ``0`` otherwise (``2`` for usage errors).
+
+``report``
+    Exportable observability (:mod:`repro.observe`)::
+
+        python -m repro report html --campaign ID --store runs/ --out report.html
+        python -m repro report html --telemetry trace.jsonl --out report.html
+        python -m repro report metrics --telemetry trace.jsonl --format prometheus
+
+    ``html`` renders a self-contained single-file dashboard (SVG
+    sparklines, phase wall-clock bars, counter/utilization tables, perf
+    history) for a run or campaign; ``metrics`` folds telemetry into the
+    typed registry and exports it as Prometheus text exposition or JSON.
 
 ``dynamics``
     Windowed simulation-dynamics trajectories (:mod:`repro.dynamics`).
@@ -214,6 +248,19 @@ def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="render live completion/rate/ETA on stderr while running",
     )
+    parser.add_argument(
+        "--sample-resources",
+        nargs="?",
+        const=-1.0,  # bare flag: use the library default interval
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "sample parent-process RSS/CPU/fds every SECONDS into the "
+            "--telemetry stream (bare flag: default interval); pool "
+            "workers add job-boundary samples automatically"
+        ),
+    )
 
 
 def _telemetry_session(args: argparse.Namespace):
@@ -232,6 +279,29 @@ def _telemetry_session(args: argparse.Namespace):
     if not sinks:
         return None
     return TelemetrySession(sinks)
+
+
+def _resource_sampler(args: argparse.Namespace, parser: argparse.ArgumentParser, session):
+    """Resolve ``--sample-resources`` to a running-or-null sampler CM.
+
+    Sampling rides the telemetry stream, so asking for it without
+    ``--telemetry`` is a loud error rather than silently dropped samples.
+    ``session`` is the *activated* session the wrapped command runs under.
+    """
+    from repro.observe import DEFAULT_INTERVAL, NULL_SAMPLER, ResourceSampler
+
+    raw = getattr(args, "sample_resources", None)
+    if raw is None:
+        return NULL_SAMPLER
+    if not getattr(args, "telemetry", None):
+        parser.error(
+            "--sample-resources requires --telemetry PATH "
+            "(samples are emitted as telemetry events)"
+        )
+    interval = DEFAULT_INTERVAL if raw == -1.0 else raw
+    if interval <= 0:
+        parser.error("--sample-resources interval must be positive seconds")
+    return ResourceSampler(session, interval=interval)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -481,6 +551,21 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_summarize.add_argument(
         "path", metavar="PATH", help="JSONL file written by --telemetry"
     )
+    telemetry_summarize.add_argument(
+        "--run",
+        action="append",
+        default=None,
+        metavar="ID",
+        help=(
+            "restrict to one session by run-id prefix (repeatable; "
+            "session ids appear in session_start events)"
+        ),
+    )
+    telemetry_summarize.add_argument(
+        "--last",
+        action="store_true",
+        help="restrict to the file's most recent session",
+    )
     telemetry_summarize.add_argument("--json", action="store_true")
 
     dynamics_parser = subparsers.add_parser(
@@ -551,6 +636,138 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.01,
         help="per-metric FDR level for the windowed tests (default: 0.01)",
+    )
+
+    perf_parser = subparsers.add_parser(
+        "perf",
+        help=(
+            "store-backed wall-clock history and drift detection "
+            "(record | history | regress)"
+        ),
+    )
+    perf_sub = perf_parser.add_subparsers(dest="perf_command", required=True)
+    perf_record = perf_sub.add_parser(
+        "record",
+        help=(
+            "execute a scenario's plan once, timed, and append a "
+            "wall-clock sample to the store's perf history"
+        ),
+    )
+    perf_record.add_argument(
+        "scenario", metavar="SCENARIO", help="catalog name or scenario file"
+    )
+    _add_store_option(perf_record)
+    perf_record.add_argument("--scale", default="default", metavar="SCALE")
+    perf_record.add_argument(
+        "--seeds",
+        default=None,
+        metavar="S1,S2,...",
+        help="replicate seeds (default: the scenario's own)",
+    )
+    perf_record.add_argument(
+        "--backend", default="serial", choices=BACKEND_NAMES
+    )
+    perf_record.add_argument("--workers", type=int, default=None, metavar="N")
+    perf_record.add_argument(
+        "--label", default=None, help="history label (default: scenario@scale)"
+    )
+    perf_record.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="record N samples back-to-back (default: 1)",
+    )
+    perf_record.add_argument("--json", action="store_true")
+    perf_history = perf_sub.add_parser(
+        "history", help="list recorded perf samples, oldest first"
+    )
+    _add_store_option(perf_history)
+    perf_history.add_argument(
+        "--spec", default=None, metavar="PREFIX", help="spec-hash prefix filter"
+    )
+    perf_history.add_argument("--json", action="store_true")
+    perf_regress = perf_sub.add_parser(
+        "regress",
+        help=(
+            "Welch-test the latest samples of each (workload, layout, host) "
+            "group against its rolling baseline; exit 1 on sustained drift"
+        ),
+    )
+    _add_store_option(perf_regress)
+    perf_regress.add_argument("--spec", default=None, metavar="PREFIX")
+    perf_regress.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="latest samples under test (default: 2)",
+    )
+    perf_regress.add_argument(
+        "--baseline",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rolling baseline size (default: 8)",
+    )
+    perf_regress.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="Welch significance level (default: 0.05)",
+    )
+    perf_regress.add_argument(
+        "--factor",
+        type=float,
+        default=None,
+        help="material-slowdown ratio gate (default: 1.2)",
+    )
+    perf_regress.add_argument("--json", action="store_true")
+
+    report_parser = subparsers.add_parser(
+        "report", help="exportable observability (html dashboard, metrics)"
+    )
+    report_sub = report_parser.add_subparsers(dest="report_command", required=True)
+    report_html = report_sub.add_parser(
+        "html",
+        help=(
+            "single-file static HTML dashboard (SVG sparklines, phase "
+            "bars, utilization tables, perf history) for a run or campaign"
+        ),
+    )
+    _add_store_option(report_html)
+    report_html.add_argument(
+        "--campaign", default=None, metavar="ID", help="campaign to report on"
+    )
+    report_html.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="telemetry JSONL file to fold into the report",
+    )
+    report_html.add_argument("--title", default=None)
+    report_html.add_argument(
+        "--out", default=None, metavar="PATH", help="write to PATH (default: stdout)"
+    )
+    report_metrics = report_sub.add_parser(
+        "metrics",
+        help=(
+            "fold a telemetry JSONL file into the typed metrics registry "
+            "and export it"
+        ),
+    )
+    report_metrics.add_argument(
+        "telemetry", metavar="PATH", help="JSONL file written by --telemetry"
+    )
+    report_metrics.add_argument(
+        "--format",
+        dest="export_format",
+        default="prometheus",
+        choices=("prometheus", "json"),
+        help="export format (default: prometheus text exposition)",
+    )
+    report_metrics.add_argument(
+        "--out", default=None, metavar="PATH", help="write to PATH (default: stdout)"
     )
 
     cache_parser = subparsers.add_parser(
@@ -883,7 +1100,8 @@ def _command_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
     from repro.telemetry import activated
 
     with activated(_telemetry_session(args)) as tele:
-        return _run_experiments(args, ids, seeds, build_backend, out_dir, tele)
+        with _resource_sampler(args, parser, tele):
+            return _run_experiments(args, ids, seeds, build_backend, out_dir, tele)
 
 
 def _run_experiments(args, ids, seeds, build_backend, out_dir, tele) -> int:
@@ -1002,9 +1220,10 @@ def _command_scenario(args: argparse.Namespace, parser: argparse.ArgumentParser)
     from repro.telemetry import activated
 
     with activated(_telemetry_session(args)) as tele:
-        return _run_scenarios(
-            args, scenarios, seeds, build_backend, out_dir, tele, dynamics_window
-        )
+        with _resource_sampler(args, parser, tele):
+            return _run_scenarios(
+                args, scenarios, seeds, build_backend, out_dir, tele, dynamics_window
+            )
 
 
 def _run_scenarios(
@@ -1225,7 +1444,7 @@ def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser)
         try:
             if args.campaign_command == "run":
                 with activated(_telemetry_session(args)) as tele:
-                    with tele.span(
+                    with _resource_sampler(args, parser, tele), tele.span(
                         "campaign",
                         kind="root",
                         backend=args.backend,
@@ -1248,7 +1467,7 @@ def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser)
 
             if args.campaign_command == "resume":
                 with activated(_telemetry_session(args)) as tele:
-                    with tele.span(
+                    with _resource_sampler(args, parser, tele), tele.span(
                         "campaign",
                         kind="root",
                         campaign=args.campaign_id,
@@ -1289,6 +1508,8 @@ def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser)
                             f" over {row['units_done']} unit(s), "
                             f"slowest {row['slowest_unit_seconds']:.2f}s"
                         )
+                        if row["unit_imbalance"] is not None:
+                            timing += f", imbalance {row['unit_imbalance']:.2f}x"
                     if row["eta_seconds"] is not None:
                         timing += f", eta ~{row['eta_seconds']:.1f}s"
                     print(
@@ -1359,7 +1580,13 @@ def _command_campaign(args: argparse.Namespace, parser: argparse.ArgumentParser)
 def _command_telemetry(
     args: argparse.Namespace, parser: argparse.ArgumentParser
 ) -> int:
-    from repro.telemetry import read_events, render_summary, summarize_events
+    from repro.observe import render_worker_table, worker_utilization
+    from repro.telemetry import (
+        filter_events,
+        read_events,
+        render_summary,
+        summarize_events,
+    )
 
     path = pathlib.Path(args.path)
     if not path.is_file():
@@ -1370,11 +1597,24 @@ def _command_telemetry(
     events = read_events(path)
     if not events:
         parser.error(f"telemetry file {args.path!r} contains no parseable events")
+    if args.run or args.last:
+        events = filter_events(events, runs=args.run, last=args.last)
+        if not events:
+            parser.error(
+                f"no events in {args.path!r} match the requested session(s); "
+                "run ids are listed in the unfiltered summary header"
+            )
     summary = summarize_events(events)
+    utilization = worker_utilization(events)
     if args.json:
+        if utilization is not None:
+            summary["workers"] = utilization
         print(json.dumps(summary, indent=2))
         return 0
     print(render_summary(summary))
+    if utilization is not None:
+        print()
+        print(render_worker_table(utilization))
     return 0
 
 
@@ -1574,6 +1814,202 @@ def _command_cache(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
         return 0
 
 
+def _command_perf(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.observe.perf import (
+        DEFAULT_ALPHA,
+        DEFAULT_BASELINE,
+        DEFAULT_FACTOR,
+        DEFAULT_WINDOW,
+        record_scenario_perf,
+        regress_groups,
+    )
+
+    if args.perf_command == "record":
+        from repro.scenarios.spec import ScenarioError, resolve_scenario
+
+        try:
+            scenario = resolve_scenario(args.scenario)
+        except ScenarioError as exc:
+            parser.error(str(exc))
+        seeds = _parse_seeds(args.seeds, parser)
+        if args.repeat < 1:
+            parser.error("--repeat must be at least 1")
+        with _open_store(args.store, parser, create=True) as store:
+            samples = [
+                record_scenario_perf(
+                    store,
+                    scenario,
+                    scale=args.scale,
+                    seeds=seeds,
+                    backend_name=args.backend,
+                    workers=args.workers,
+                    label=args.label,
+                )
+                for _ in range(args.repeat)
+            ]
+        if args.json:
+            print(json.dumps({"samples": samples}, indent=2))
+            return 0
+        for sample in samples:
+            rate = (
+                f"{sample['slots_per_second']:.0f} slots/s"
+                if sample["slots_per_second"] is not None
+                else "-"
+            )
+            print(
+                f"recorded {sample['label']} [{sample['backend_layout']}] "
+                f"host={sample['host']}: {sample['seconds']:.4f}s "
+                f"({sample['runs']} runs, {rate})"
+            )
+        return 0
+
+    with _open_store(args.store, parser) as store:
+        rows = store.perf_sample_rows(spec_prefix=args.spec)
+
+    if args.perf_command == "history":
+        if args.json:
+            print(json.dumps({"samples": rows}, indent=2))
+            return 0
+        if not rows:
+            print("(no perf samples; record them with 'python -m repro perf record')")
+            return 0
+        print(
+            f"{'label':<28} {'layout':<18} {'host':<14} {'runs':>5} "
+            f"{'seconds':>10} {'slots/s':>10} recorded_at"
+        )
+        for row in rows:
+            rate = (
+                f"{row['slots_per_second']:.0f}"
+                if row["slots_per_second"] is not None
+                else "-"
+            )
+            print(
+                f"{(row['label'] or row['spec_hash'][:12]):<28.28} "
+                f"{row['backend_layout']:<18.18} {row['host']:<14.14} "
+                f"{row['runs']:>5} {row['seconds']:>10.4f} {rate:>10} "
+                f"{row['created_at']}"
+            )
+        return 0
+
+    # regress
+    verdicts = regress_groups(
+        rows,
+        window=args.window if args.window is not None else DEFAULT_WINDOW,
+        baseline=args.baseline if args.baseline is not None else DEFAULT_BASELINE,
+        alpha=args.alpha if args.alpha is not None else DEFAULT_ALPHA,
+        factor=args.factor if args.factor is not None else DEFAULT_FACTOR,
+    )
+    drifted = [v for v in verdicts if v["status"] == "drift"]
+    if args.json:
+        print(
+            json.dumps(
+                {"groups": verdicts, "drifted": len(drifted)},
+                indent=2,
+            )
+        )
+        return 1 if drifted else 0
+    if not verdicts:
+        print("(no perf samples to test; record some first)")
+        return 0
+    for verdict in verdicts:
+        name = verdict.get("label") or verdict["spec_hash"][:12]
+        prefix = f"{name} [{verdict['backend_layout']}] host={verdict['host']}"
+        if verdict["status"] == "insufficient":
+            print(
+                f"{prefix}: insufficient history "
+                f"({verdict['samples']}/{verdict['needed']} samples)"
+            )
+            continue
+        p_rendered = (
+            f"p={verdict['p_value']:.4f}"
+            if verdict["p_value"] is not None
+            else "p=n/a"
+        )
+        print(
+            f"{prefix}: {verdict['status']} — latest "
+            f"{verdict['latest_mean']:.4f}s vs baseline "
+            f"{verdict['baseline_mean']:.4f}s "
+            f"(x{verdict['ratio']:.2f}, {p_rendered}, "
+            f"{verdict['window']}/{verdict['baseline']} samples)"
+        )
+    if drifted:
+        print(f"DRIFT: {len(drifted)} group(s) regressed")
+        return 1
+    return 0
+
+
+def _command_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.report_command == "metrics":
+        from repro.observe import fold_events, to_json, to_prometheus
+        from repro.telemetry import read_events
+
+        path = pathlib.Path(args.telemetry)
+        if not path.is_file():
+            parser.error(f"no telemetry file at {args.telemetry!r}")
+        registry = fold_events(read_events(path))
+        rendered = (
+            to_prometheus(registry)
+            if args.export_format == "prometheus"
+            else to_json(registry) + "\n"
+        )
+        return _write_or_print(rendered, args.out, parser)
+
+    # report html
+    from repro.observe import render_html_report
+    from repro.telemetry import read_events
+
+    events = None
+    if args.telemetry:
+        path = pathlib.Path(args.telemetry)
+        if not path.is_file():
+            parser.error(f"no telemetry file at {args.telemetry!r}")
+        events = read_events(path)
+    store_path = pathlib.Path(args.store)
+    open_store = args.campaign is not None or store_path.is_dir()
+    if not open_store and events is None:
+        parser.error(
+            "report html needs at least one input: --telemetry PATH "
+            "and/or a results store (--store DIR, --campaign ID)"
+        )
+    try:
+        if open_store:
+            with _open_store(args.store, parser) as store:
+                rendered = render_html_report(
+                    store=store,
+                    campaign_id=args.campaign,
+                    events=events,
+                    title=args.title,
+                )
+        else:
+            rendered = render_html_report(events=events, title=args.title)
+    except Exception as exc:
+        from repro.campaigns import CampaignError
+
+        if isinstance(exc, CampaignError):
+            parser.error(str(exc))
+        raise
+    return _write_or_print(rendered, args.out, parser)
+
+
+def _write_or_print(
+    rendered: str, out: str | None, parser: argparse.ArgumentParser
+) -> int:
+    if out is None:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+        return 0
+    out_path = pathlib.Path(out)
+    try:
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(
+            rendered if rendered.endswith("\n") else rendered + "\n",
+            encoding="utf-8",
+        )
+    except OSError as exc:
+        parser.error(f"cannot write {out!r}: {exc}")
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv: Iterable[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
@@ -1591,6 +2027,10 @@ def main(argv: Iterable[str] | None = None) -> int:
         return _command_dynamics(args, parser)
     if args.command == "cache":
         return _command_cache(args, parser)
+    if args.command == "perf":
+        return _command_perf(args, parser)
+    if args.command == "report":
+        return _command_report(args, parser)
     return _command_run(args, parser)
 
 

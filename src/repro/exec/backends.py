@@ -160,15 +160,21 @@ def execute_job(job: RunJob) -> SimulationResult:
 
 def _execute_pool_job(
     indexed_job: tuple[int, RunJob],
-) -> tuple[SimulationResult, int, float, float]:
+) -> tuple[SimulationResult, int, float, float, dict[str, Any]]:
     """Worker-side job execution: timed, attributed, and error-wrapped.
 
-    Returns ``(result, worker_pid, started, ended)`` with monotonic
-    timestamps, so the parent can reconstruct queue-wait vs run time.
-    Failures re-raise as :class:`WorkerJobError` carrying the job index
-    and spec identity (the satellite bugfix: a bare worker exception is
-    unattributable in a large sweep).
+    Returns ``(result, worker_pid, started, ended, resources)`` with
+    monotonic timestamps, so the parent can reconstruct queue-wait vs run
+    time.  ``resources`` is a job-boundary snapshot of the worker's
+    RSS/CPU/fds (telemetry sessions are process-local, so workers hand
+    the sample back for the parent to emit; reading ``/proc`` twice per
+    job costs microseconds against millisecond-scale jobs).  Failures
+    re-raise as :class:`WorkerJobError` carrying the job index and spec
+    identity (a bare worker exception is unattributable in a large
+    sweep).
     """
+    from repro.observe.resources import sample_process
+
     index, job = indexed_job
     started = time.monotonic()
     try:
@@ -178,7 +184,7 @@ def _execute_pool_job(
         raise WorkerJobError(
             index, job_identity(job), type(exc).__name__, str(exc)
         ) from exc
-    return result, os.getpid(), started, time.monotonic()
+    return result, os.getpid(), started, time.monotonic(), sample_process()
 
 
 class ExecutionBackend(abc.ABC):
@@ -332,8 +338,16 @@ class ProcessPoolBackend(ExecutionBackend):
                 _execute_pool_job, list(enumerate(jobs)), chunksize=self.chunksize
             )
         results: list[SimulationResult] = []
-        for index, (result, worker_pid, started, ended) in enumerate(outcomes):
+        worker_resources: dict[int, dict[str, Any]] = {}
+        for index, (result, worker_pid, started, ended, resources) in enumerate(
+            outcomes
+        ):
             results.append(result)
+            if resources:
+                # Last job-boundary snapshot per pid wins: latest is the
+                # high-water mark for monotonic quantities (CPU time) and
+                # a late reading for RSS/fds.
+                worker_resources[worker_pid] = resources
             if tele.enabled:
                 # Workers time themselves on CLOCK_MONOTONIC, which is
                 # system-wide on Linux, so queue-wait (submit → worker
@@ -346,6 +360,14 @@ class ProcessPoolBackend(ExecutionBackend):
                     job=index,
                     worker_pid=worker_pid,
                     queue_wait=round(max(0.0, started - submitted), 6),
+                )
+        if tele.enabled:
+            for worker_pid in sorted(worker_resources):
+                tele.event(
+                    "resource_sample",
+                    pid=worker_pid,
+                    source="worker",
+                    **worker_resources[worker_pid],
                 )
         if tele.enabled:
             for result in results:

@@ -1,0 +1,129 @@
+"""Zero-dependency exporters: Prometheus text format and JSON.
+
+``to_prometheus`` renders a registry in the Prometheus text exposition
+format (version 0.0.4) — the seam the future FastAPI service's
+``/metrics`` endpoint returns verbatim.  Conformance points the tests
+pin down:
+
+* every metric gets exactly one ``# HELP`` and one ``# TYPE`` line;
+* metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (enforced at metric
+  creation, re-checked here);
+* label values escape backslash, double-quote and newline per the spec;
+* histograms export as the ``summary`` exposition type — quantile series
+  (``{quantile="0.5"}`` …) plus ``_sum``/``_count`` — because the
+  registry keeps exact observations rather than fixed buckets.
+
+``to_json`` is the same content as a structured document (one entry per
+metric with type, help, and labelled samples), for dashboards and tests
+that would rather not parse the text format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.observe.registry import (
+    HISTOGRAM_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    summarize_distribution,
+)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (but not quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _render_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _render_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry as a text-format exposition document."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if isinstance(metric, Histogram):
+            exposition_type = "summary"
+        elif isinstance(metric, Counter):
+            exposition_type = "counter"
+        elif isinstance(metric, Gauge):
+            exposition_type = "gauge"
+        else:
+            exposition_type = "untyped"
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {exposition_type}")
+        for labels, value in metric.samples():
+            if isinstance(metric, Histogram):
+                stats = summarize_distribution(value)
+                for q in HISTOGRAM_QUANTILES:
+                    rendered = _render_labels(labels, {"quantile": str(q)})
+                    lines.append(
+                        f"{metric.name}{rendered} "
+                        f"{_render_value(stats[f'p{int(q * 100)}'])}"
+                    )
+                lines.append(
+                    f"{metric.name}_sum{_render_labels(labels)} "
+                    f"{_render_value(stats['sum'])}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_render_labels(labels)} "
+                    f"{_render_value(stats['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{metric.name}{_render_labels(labels)} {_render_value(value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def registry_to_dict(registry: MetricsRegistry) -> dict[str, Any]:
+    """The registry as a JSON-friendly document (one entry per metric)."""
+    metrics: list[dict[str, Any]] = []
+    for metric in registry.metrics():
+        samples: list[dict[str, Any]] = []
+        for labels, value in metric.samples():
+            if isinstance(metric, Histogram):
+                samples.append({"labels": labels, **summarize_distribution(value)})
+            else:
+                samples.append({"labels": labels, "value": float(value)})
+        metrics.append(
+            {
+                "name": metric.name,
+                "type": metric.metric_type,
+                "help": metric.help,
+                "samples": samples,
+            }
+        )
+    return {"metrics": metrics}
+
+
+def to_json(registry: MetricsRegistry, *, indent: int | None = 2) -> str:
+    return json.dumps(registry_to_dict(registry), indent=indent, sort_keys=False)

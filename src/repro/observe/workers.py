@@ -1,0 +1,138 @@
+"""Worker-utilization attribution for pool-backed execution.
+
+:class:`~repro.exec.backends.ProcessPoolBackend` already emits one
+``simulate`` phase span per job with ``worker_pid`` and ``queue_wait``
+attributes (workers time themselves on the system-wide monotonic clock).
+This module folds those spans into the scaling diagnostics the upcoming
+sharded-campaign work needs:
+
+* per-pid busy seconds, job count, and busy fraction of the pool's
+  wall-clock window;
+* the queue-wait distribution (p50/p95/max) — how long jobs sat between
+  submission and a worker picking them up;
+* an **imbalance index**: max per-pid busy time over mean per-pid busy
+  time.  1.0 is a perfectly level pool; 2.0 means the slowest worker
+  carried twice the average load (stragglers, skewed job sizes, or an
+  oversubscribed host).
+
+The same index over campaign checkpoint units (max/mean unit wall-clock)
+is computed by :func:`unit_imbalance` and surfaced in
+``campaign status``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.statistics import quantile
+
+
+def worker_utilization(events: Iterable[dict[str, Any]]) -> dict[str, Any] | None:
+    """Fold pool-attributed spans into per-worker utilization rows.
+
+    Returns ``None`` when the events carry no ``worker_pid`` spans (the
+    run never touched a process pool).  The wall-clock window is the
+    envelope of all attributed spans — from the earliest job start
+    (``ts - dur``) to the latest job end (``ts``) — which is exactly the
+    interval during which the pool had work in flight.
+    """
+    per_pid: dict[str, dict[str, Any]] = {}
+    queue_waits: list[float] = []
+    window_start: float | None = None
+    window_end: float | None = None
+    for record in events:
+        if record.get("ev") != "span":
+            continue
+        attrs = record.get("attrs") or {}
+        pid = attrs.get("worker_pid")
+        if pid is None:
+            continue
+        duration = float(record.get("dur", 0.0))
+        ended = float(record.get("ts", 0.0))
+        started = ended - duration
+        row = per_pid.setdefault(
+            str(pid), {"pid": str(pid), "jobs": 0, "busy_seconds": 0.0}
+        )
+        row["jobs"] += 1
+        row["busy_seconds"] += duration
+        wait = attrs.get("queue_wait")
+        if wait is not None:
+            queue_waits.append(float(wait))
+        window_start = started if window_start is None else min(window_start, started)
+        window_end = ended if window_end is None else max(window_end, ended)
+    if not per_pid:
+        return None
+    wall = max((window_end or 0.0) - (window_start or 0.0), 0.0)
+    busy_values = [row["busy_seconds"] for row in per_pid.values()]
+    for row in per_pid.values():
+        row["busy_seconds"] = round(row["busy_seconds"], 6)
+        row["busy_fraction"] = (
+            round(row["busy_seconds"] / wall, 4) if wall > 0 else None
+        )
+    mean_busy = sum(busy_values) / len(busy_values)
+    summary: dict[str, Any] = {
+        "workers": sorted(
+            per_pid.values(), key=lambda row: -row["busy_seconds"]
+        ),
+        "jobs": sum(row["jobs"] for row in per_pid.values()),
+        "wall_seconds": round(wall, 6),
+        "imbalance": (
+            round(max(busy_values) / mean_busy, 4) if mean_busy > 0 else None
+        ),
+    }
+    if queue_waits:
+        summary["queue_wait"] = {
+            "count": len(queue_waits),
+            "p50": round(quantile(queue_waits, 0.5), 6),
+            "p95": round(quantile(queue_waits, 0.95), 6),
+            "max": round(max(queue_waits), 6),
+        }
+    return summary
+
+
+def unit_imbalance(unit_seconds: Sequence[float]) -> float | None:
+    """Max/mean imbalance index over campaign unit wall-clocks.
+
+    ``None`` when fewer than two units have timing (one unit is trivially
+    "balanced") or the mean is zero.
+    """
+    values = [float(value) for value in unit_seconds if value is not None]
+    if len(values) < 2:
+        return None
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        return None
+    return round(max(values) / mean, 4)
+
+
+def render_worker_table(summary: dict[str, Any]) -> str:
+    """Aligned text block for ``telemetry summarize``'s workers section."""
+    lines = ["workers (process-pool attribution)"]
+    header = (
+        f"  {'pid':<10} {'jobs':>6} {'busy_s':>10} {'busy_frac':>10}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for row in summary["workers"]:
+        fraction = (
+            f"{row['busy_fraction']:10.1%}"
+            if row.get("busy_fraction") is not None
+            else f"{'-':>10}"
+        )
+        lines.append(
+            f"  {row['pid']:<10} {row['jobs']:>6} {row['busy_seconds']:>10.4f} "
+            f"{fraction}"
+        )
+    imbalance = summary.get("imbalance")
+    lines.append(
+        f"  {summary['jobs']} job(s) over {len(summary['workers'])} worker(s) "
+        f"in {summary['wall_seconds']:.4f}s"
+        + (f"; imbalance {imbalance:.2f}x (max/mean busy)" if imbalance else "")
+    )
+    wait = summary.get("queue_wait")
+    if wait:
+        lines.append(
+            f"  queue wait: p50 {wait['p50']:.4f}s, p95 {wait['p95']:.4f}s, "
+            f"max {wait['max']:.4f}s over {wait['count']} job(s)"
+        )
+    return "\n".join(lines)

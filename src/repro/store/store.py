@@ -137,6 +137,21 @@ CREATE TABLE IF NOT EXISTS trajectories (
     created_at TEXT NOT NULL,
     PRIMARY KEY (spec_hash, seed, backend_layout)
 );
+CREATE TABLE IF NOT EXISTS perf_samples (
+    sample_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    spec_hash TEXT NOT NULL,
+    backend_layout TEXT NOT NULL,
+    host TEXT NOT NULL,
+    label TEXT,
+    runs INTEGER NOT NULL,
+    slots INTEGER NOT NULL,
+    seconds REAL NOT NULL,
+    slots_per_second REAL,
+    version TEXT,
+    created_at TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS perf_samples_by_group
+    ON perf_samples (spec_hash, backend_layout, host);
 """
 
 
@@ -489,6 +504,64 @@ class ResultsStore:
         query += " ORDER BY spec_hash, seed, backend_layout"
         return [dict(row) for row in self._connection.execute(query, params)]
 
+    # -- Performance history -----------------------------------------------
+
+    def put_perf_sample(
+        self,
+        *,
+        spec_hash: str,
+        backend_layout: str,
+        host: str,
+        seconds: float,
+        runs: int = 0,
+        slots: int = 0,
+        slots_per_second: float | None = None,
+        label: str | None = None,
+    ) -> int:
+        """Append one wall-clock sample to the performance history.
+
+        Samples are keyed by (spec_hash, backend_layout, host) — drift
+        detection only ever compares within one group.  The table is
+        append-only provenance: it is excluded from :meth:`fingerprint`,
+        so recording perf can never change what the store *means*.
+        Returns the new sample's rowid.
+        """
+        with self._connection:
+            cursor = self._connection.execute(
+                "INSERT INTO perf_samples (spec_hash, backend_layout, host, "
+                "label, runs, slots, seconds, slots_per_second, version, "
+                "created_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    spec_hash,
+                    backend_layout,
+                    host,
+                    label,
+                    int(runs),
+                    int(slots),
+                    float(seconds),
+                    float(slots_per_second) if slots_per_second is not None else None,
+                    describe_version(),
+                    _utcnow(),
+                ),
+            )
+        return int(cursor.lastrowid or 0)
+
+    def perf_sample_rows(
+        self, *, spec_prefix: str | None = None
+    ) -> list[dict[str, Any]]:
+        """Perf history rows in recording order (oldest first).
+
+        Recording order — not timestamp order — is the drift-detection
+        contract: ``detect_drift`` windows a series by position.
+        """
+        query = "SELECT * FROM perf_samples"
+        params: tuple[Any, ...] = ()
+        if spec_prefix:
+            query += " WHERE spec_hash LIKE ?"
+            params = (spec_prefix + "%",)
+        query += " ORDER BY sample_id"
+        return [dict(row) for row in self._connection.execute(query, params)]
+
     # -- Campaigns ---------------------------------------------------------
 
     def create_campaign(
@@ -683,6 +756,9 @@ class ResultsStore:
         trajectory_count = self._connection.execute(
             "SELECT COUNT(*) FROM trajectories"
         ).fetchone()[0]
+        perf_sample_count = self._connection.execute(
+            "SELECT COUNT(*) FROM perf_samples"
+        ).fetchone()[0]
         artifact_files = list(self.artifacts_dir.rglob("*.pkl"))
         artifact_bytes = sum(path.stat().st_size for path in artifact_files)
         return {
@@ -692,6 +768,7 @@ class ResultsStore:
             "runs_by_layout": by_layout,
             "campaigns": campaign_count,
             "trajectories": trajectory_count,
+            "perf_samples": perf_sample_count,
             "artifacts": len(artifact_files),
             "artifact_bytes": artifact_bytes,
             "db_bytes": self.db_path.stat().st_size if self.db_path.exists() else 0,

@@ -19,6 +19,8 @@ from repro.telemetry.core import (
 )
 from repro.telemetry.sinks import JsonlSink, MemorySink, ProgressSink
 from repro.telemetry.summarize import (
+    filter_events,
+    iter_events,
     read_events,
     render_summary,
     summarize_events,
@@ -38,6 +40,8 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "ProgressSink",
+    "filter_events",
+    "iter_events",
     "read_events",
     "render_summary",
     "summarize_events",

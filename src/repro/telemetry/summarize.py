@@ -18,32 +18,70 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
+
+from repro.analysis.statistics import quantile
+
+
+def iter_events(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Stream a telemetry JSONL file one parsed event at a time.
+
+    Reads line-by-line — memory stays flat no matter how large the file
+    grows (a campaign with resource sampling emits tens of thousands of
+    lines) — and tolerates a truncated final line, the expected artifact
+    of a SIGKILL mid-write (see
+    :class:`repro.telemetry.sinks.JsonlSink`).  Malformed interior lines
+    are skipped too: a summary of most of a file beats no summary.
+    """
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
 
 
 def read_events(path: str | Path) -> list[dict[str, Any]]:
     """Parse a telemetry JSONL file, tolerating a truncated final line."""
-    events: list[dict[str, Any]] = []
-    text = Path(path).read_text(encoding="utf-8", errors="replace")
-    lines = text.split("\n")
-    last_index = len(lines) - 1
-    for index, line in enumerate(lines):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            if index >= last_index - 1:
-                # Truncated tail from a kill mid-write: tolerated.
-                continue
-            # Malformed interior lines are skipped too — a summary of
-            # most of a file beats no summary — but they are not the
-            # expected case, so keep scanning rather than aborting.
-            continue
-        if isinstance(record, dict):
-            events.append(record)
-    return events
+    return list(iter_events(path))
+
+
+def filter_events(
+    events: Iterable[dict[str, Any]],
+    *,
+    runs: Iterable[str] | None = None,
+    last: bool = False,
+) -> list[dict[str, Any]]:
+    """Select the events of specific sessions.
+
+    ``runs`` are run-id *prefixes* (like git object names: any
+    unambiguous prefix of the id ``session_start`` printed); ``last``
+    keeps only the file's most recent session.  With neither, the events
+    come back unchanged.
+    """
+    events = list(events)
+    prefixes = tuple(runs) if runs else ()
+    if last:
+        order: list[str] = []
+        for record in events:
+            run = record.get("run")
+            if run and run not in order:
+                order.append(run)
+        if not order:
+            return []
+        prefixes = prefixes + (order[-1],)
+    if not prefixes:
+        return events
+    return [
+        record
+        for record in events
+        if any(str(record.get("run", "")).startswith(p) for p in prefixes)
+    ]
 
 
 def summarize_events(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
@@ -67,12 +105,21 @@ def summarize_events(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
         attrs = record.get("attrs") or {}
         key = (str(record.get("name")), str(attrs.get("backend", "-")))
         row = table.setdefault(
-            key, {"name": key[0], "backend": key[1], "count": 0, "total": 0.0, "max": 0.0}
+            key,
+            {
+                "name": key[0],
+                "backend": key[1],
+                "count": 0,
+                "total": 0.0,
+                "max": 0.0,
+                "durations": [],
+            },
         )
         duration = float(record.get("dur", 0.0))
         row["count"] += 1
         row["total"] += duration
         row["max"] = max(row["max"], duration)
+        row["durations"].append(duration)
 
     for record in events:
         run = record.get("run")
@@ -106,6 +153,11 @@ def summarize_events(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
     for table in (phases, roots, units):
         for row in table.values():
             row["mean"] = row["total"] / row["count"] if row["count"] else 0.0
+            # Same quantile definition the observe histograms export
+            # (linear interpolation, repro.analysis.statistics.quantile).
+            durations = row.pop("durations")
+            row["p50"] = quantile(durations, 0.5) if durations else 0.0
+            row["p95"] = quantile(durations, 0.95) if durations else 0.0
 
     phase_total = sum(row["total"] for row in phases.values())
     root_total = sum(row["total"] for row in roots.values())
@@ -141,14 +193,18 @@ def render_summary(summary: dict[str, Any]) -> str:
         if not rows:
             return
         lines.append(title)
-        header = f"  {'name':<18} {'backend':<22} {'count':>6} {'total_s':>10} {'mean_s':>10} {'max_s':>10} {'share':>7}"
+        header = (
+            f"  {'name':<18} {'backend':<22} {'count':>6} {'total_s':>10} "
+            f"{'mean_s':>10} {'p50_s':>10} {'p95_s':>10} {'max_s':>10} {'share':>7}"
+        )
         lines.append(header)
         lines.append("  " + "-" * (len(header) - 2))
         for row in rows:
             share = f"{row['total'] / denom:6.1%}" if denom > 0 else "     -"
             lines.append(
                 f"  {row['name']:<18} {row['backend']:<22} {row['count']:>6} "
-                f"{row['total']:>10.4f} {row['mean']:>10.4f} {row['max']:>10.4f} {share:>7}"
+                f"{row['total']:>10.4f} {row['mean']:>10.4f} {row['p50']:>10.4f} "
+                f"{row['p95']:>10.4f} {row['max']:>10.4f} {share:>7}"
             )
         lines.append("")
 
